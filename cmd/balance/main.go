@@ -1,0 +1,110 @@
+// Command balance reproduces the machine-balance analysis of the paper's
+// evaluation section: Table 1 (machine specifications and balance
+// parameters), the CG analysis of Section 5.2.3, the GMRES analysis of
+// Section 5.3.3 and the Jacobi analysis of Section 5.4.3.
+//
+// Usage:
+//
+//	balance -all
+//	balance -table1
+//	balance -cg -n 1000
+//	balance -gmres -m 1,10,100,1000
+//	balance -jacobi -maxdim 6
+//	balance -composite -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cdagio"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every analysis")
+		table1    = flag.Bool("table1", false, "print Table 1 (machine specifications)")
+		cg        = flag.Bool("cg", false, "run the CG balance analysis (Section 5.2.3)")
+		gmres     = flag.Bool("gmres", false, "run the GMRES balance analysis (Section 5.3.3)")
+		jacobi    = flag.Bool("jacobi", false, "run the Jacobi balance analysis (Section 5.4.3)")
+		composite = flag.Bool("composite", false, "run the Section-3 composite example")
+		n         = flag.Int("n", 1000, "grid points per dimension (CG/GMRES)")
+		mList     = flag.String("m", "1,5,10,100,1000", "comma-separated GMRES restart values")
+		maxDim    = flag.Int("maxdim", 6, "largest stencil dimension for the Jacobi analysis")
+		compN     = flag.Int("compn", 64, "vector length for the composite example")
+	)
+	flag.Parse()
+	if !*all && !*table1 && !*cg && !*gmres && !*jacobi && !*composite {
+		*all = true
+	}
+	machines := cdagio.Table1Machines()
+	bgq := cdagio.IBMBGQ()
+
+	if *all || *table1 {
+		fmt.Println("== Table 1: machine specifications ==")
+		fmt.Print(cdagio.Table1Report())
+		fmt.Println()
+	}
+	if *all || *cg {
+		p := cdagio.CGParams{Dim: 3, N: *n, Iterations: 100,
+			Processors: bgq.Nodes * bgq.CoresPerNode, Nodes: bgq.Nodes}
+		ev, err := cdagio.EvaluateCG(p, machines)
+		exitOn(err)
+		fmt.Println("== Conjugate Gradient (Section 5.2.3) ==")
+		fmt.Print(ev.Report())
+		fmt.Println()
+	}
+	if *all || *gmres {
+		ms, err := parseInts(*mList)
+		exitOn(err)
+		ev, err := cdagio.EvaluateGMRES(3, *n, bgq.Nodes*bgq.CoresPerNode, bgq.Nodes, ms, machines)
+		exitOn(err)
+		fmt.Println("== GMRES (Section 5.3.3) ==")
+		fmt.Print(ev.Report())
+		fmt.Println()
+	}
+	if *all || *jacobi {
+		fmt.Println("== Jacobi stencils (Section 5.4.3) ==")
+		for _, m := range machines {
+			ev, err := cdagio.EvaluateJacobi(m, *maxDim)
+			exitOn(err)
+			fmt.Print(ev.Report())
+		}
+		fmt.Println()
+	}
+	if *all || *composite {
+		ev, err := cdagio.EvaluateComposite(*compN)
+		exitOn(err)
+		fmt.Println("== Composite example (Section 3) ==")
+		fmt.Print(ev.Report())
+	}
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list")
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "balance:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// GMRES analysis: reproduce the Section 5.3 study —
+//
+//  1. solve a non-symmetric system with the real restarted GMRES solver
+//     (Figure 4, modified Gram–Schmidt with Givens rotations),
+//  2. build the GMRES iteration CDAG and inspect how the per-iteration work
+//     and wavefronts grow with the Krylov dimension,
+//  3. sweep the restart length m through the Section 5.3.3 balance analysis,
+//     showing the 6/(m+20) vertical bound and the crossover where the
+//     computation stops being provably bandwidth bound.
+//
+// Run with:
+//
+//	go run ./examples/gmres_krylov
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cdagio"
+	"cdagio/internal/linalg"
+	"cdagio/internal/solvers"
+)
+
+func main() {
+	// --- 1. Solve a non-symmetric convection-diffusion-like system. ----------
+	const dim = 40
+	b := linalg.NewCSRBuilder(dim, dim)
+	for i := 0; i < dim; i++ {
+		b.Add(i, i, 4)
+		if i+1 < dim {
+			b.Add(i, i+1, -1.8)
+		}
+		if i > 0 {
+			b.Add(i, i-1, -0.2)
+		}
+	}
+	a := b.Build()
+	rhs := linalg.NewVector(dim)
+	for i := range rhs {
+		rhs[i] = math.Cos(float64(i))
+	}
+	x, stats, err := solvers.GMRES(solvers.CSROperator{M: a}, rhs, solvers.GMRESOptions{
+		Tolerance: 1e-10, Restart: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GMRES solved a %d-unknown non-symmetric system in %d Arnoldi steps (residual %.2e)\n",
+		dim, stats.Iterations, rhs.Sub(a.MulVec(x)).Norm2())
+
+	// --- 2. The GMRES CDAG: growing iterations, growing wavefronts. ----------
+	gm := cdagio.GMRES(2, 10, 4)
+	fmt.Println("GMRES iteration CDAG:", gm.Graph)
+	for i, set := range gm.IterationVertices {
+		w := cdagio.WavefrontAt(gm.Graph, gm.LastDotVertex[i])
+		fmt.Printf("  iteration %d: %5d vertices, wavefront at h_{%d,%d} >= %d\n",
+			i, set.Len(), i, i, w)
+	}
+
+	// --- 3. The balance sweep of Section 5.3.3. --------------------------------
+	bgq := cdagio.IBMBGQ()
+	ev, err := cdagio.EvaluateGMRES(3, 1000, bgq.Nodes*bgq.CoresPerNode, bgq.Nodes,
+		[]int{1, 5, 10, 50, 100, 500, 1000}, cdagio.Table1Machines())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ev.Report())
+	fmt.Println("conclusion: for small restart lengths GMRES is memory-bandwidth bound like CG;")
+	fmt.Println("as m grows the O(m²) orthogonalization work dominates and the bound no longer bites.")
+}

@@ -1,0 +1,150 @@
+// Package balance implements the machine-balance analysis of Section 5:
+// given per-FLOP data-movement bounds of an algorithm and the balance
+// parameters of a machine, it decides whether the algorithm is necessarily
+// bandwidth bound (Equation 7/9) or definitely not communication bound
+// (Equation 8/10) at each level, and renders the comparison tables the
+// evaluation section reports.
+package balance
+
+import (
+	"fmt"
+	"strings"
+
+	"cdagio/internal/machine"
+)
+
+// Verdict is the outcome of comparing a bound against a machine balance.
+type Verdict int
+
+const (
+	// BandwidthBound: the lower bound per FLOP exceeds the machine balance,
+	// so no implementation can avoid being limited by that bandwidth
+	// (Equation 7 violated).
+	BandwidthBound Verdict = iota
+	// NotBound: the upper bound per FLOP is below the machine balance, so at
+	// least one execution order is not limited by that bandwidth
+	// (Equation 8 violated).
+	NotBound
+	// Inconclusive: the lower bound is below the balance but the upper bound
+	// is above it (or one of the two is unknown), so the analysis cannot
+	// decide.
+	Inconclusive
+)
+
+// String returns a human-readable verdict.
+func (v Verdict) String() string {
+	switch v {
+	case BandwidthBound:
+		return "bandwidth bound"
+	case NotBound:
+		return "not bandwidth bound"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Check compares an algorithm's per-FLOP data movement against a machine
+// balance value (both in words/FLOP).  lowerPerFlop is the lower bound on the
+// algorithm's traffic per FLOP (use 0 when unknown); upperPerFlop is the
+// upper bound (use negative when unknown).
+func Check(lowerPerFlop, upperPerFlop, machineBalance float64) Verdict {
+	if machineBalance <= 0 {
+		return Inconclusive
+	}
+	if lowerPerFlop > machineBalance {
+		return BandwidthBound
+	}
+	if upperPerFlop >= 0 && upperPerFlop <= machineBalance {
+		return NotBound
+	}
+	return Inconclusive
+}
+
+// Row is one line of a balance-analysis table: an algorithm/level pair
+// evaluated against one machine.
+type Row struct {
+	Algorithm    string
+	Direction    string // "vertical" or "horizontal"
+	Machine      string
+	LowerPerFlop float64 // words/FLOP, 0 when unknown
+	UpperPerFlop float64 // words/FLOP, negative when unknown
+	Balance      float64 // machine balance in words/FLOP
+	Verdict      Verdict
+}
+
+// Evaluate builds a Row for an algorithm bound against one machine balance.
+func Evaluate(algorithm, direction, machineName string, lowerPerFlop, upperPerFlop, bal float64) Row {
+	return Row{
+		Algorithm:    algorithm,
+		Direction:    direction,
+		Machine:      machineName,
+		LowerPerFlop: lowerPerFlop,
+		UpperPerFlop: upperPerFlop,
+		Balance:      bal,
+		Verdict:      Check(lowerPerFlop, upperPerFlop, bal),
+	}
+}
+
+// EvaluateVertical builds the vertical-balance rows (Equation 9) of an
+// algorithm across the given machines.
+func EvaluateVertical(algorithm string, lowerPerFlop, upperPerFlop float64, machines []machine.Machine) ([]Row, error) {
+	rows := make([]Row, 0, len(machines))
+	for _, m := range machines {
+		b, err := m.VerticalBalance()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Evaluate(algorithm, "vertical", m.Name, lowerPerFlop, upperPerFlop, b))
+	}
+	return rows, nil
+}
+
+// EvaluateHorizontal builds the horizontal-balance rows (Equation 10).
+func EvaluateHorizontal(algorithm string, lowerPerFlop, upperPerFlop float64, machines []machine.Machine) ([]Row, error) {
+	rows := make([]Row, 0, len(machines))
+	for _, m := range machines {
+		b, err := m.HorizontalBalance()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Evaluate(algorithm, "horizontal", m.Name, lowerPerFlop, upperPerFlop, b))
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-11s %-12s %14s %14s %12s  %s\n",
+		"algorithm", "direction", "machine", "LB (w/FLOP)", "UB (w/FLOP)", "balance", "verdict")
+	for _, r := range rows {
+		ub := "-"
+		if r.UpperPerFlop >= 0 {
+			ub = fmt.Sprintf("%.6g", r.UpperPerFlop)
+		}
+		lb := "-"
+		if r.LowerPerFlop > 0 {
+			lb = fmt.Sprintf("%.6g", r.LowerPerFlop)
+		}
+		fmt.Fprintf(&b, "%-22s %-11s %-12s %14s %14s %12.6g  %s\n",
+			r.Algorithm, r.Direction, r.Machine, lb, ub, r.Balance, r.Verdict)
+	}
+	return b.String()
+}
+
+// Table1 renders the machine-specification table of the paper (Table 1).
+func Table1(machines []machine.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %14s %18s %18s\n",
+		"machine", "nodes", "mem (GB)", "L2/L3 (MB)", "vert. balance", "horiz. balance")
+	for _, m := range machines {
+		vb, _ := m.VerticalBalance()
+		hb, _ := m.HorizontalBalance()
+		fmt.Fprintf(&b, "%-12s %8d %10.0f %14.0f %18.4g %18.4g\n",
+			m.Name, m.Nodes,
+			float64(m.MainMemoryWords)*8/1e9,
+			float64(m.CacheCapacityWords())*8/1e6,
+			vb, hb)
+	}
+	return b.String()
+}

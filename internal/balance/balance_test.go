@@ -1,0 +1,158 @@
+package balance
+
+import (
+	"strings"
+	"testing"
+
+	"cdagio/internal/bounds"
+	"cdagio/internal/machine"
+)
+
+func TestCheckVerdicts(t *testing.T) {
+	// Lower bound above the balance: bandwidth bound.
+	if v := Check(0.3, -1, 0.052); v != BandwidthBound {
+		t.Errorf("verdict = %v, want bandwidth bound", v)
+	}
+	// Upper bound below the balance: not bound.
+	if v := Check(0, 0.001, 0.052); v != NotBound {
+		t.Errorf("verdict = %v, want not bound", v)
+	}
+	// Lower below, upper above: inconclusive.
+	if v := Check(0.01, 0.5, 0.052); v != Inconclusive {
+		t.Errorf("verdict = %v, want inconclusive", v)
+	}
+	// Unknown upper bound and low lower bound: inconclusive.
+	if v := Check(0.01, -1, 0.052); v != Inconclusive {
+		t.Errorf("verdict = %v, want inconclusive", v)
+	}
+	// Unknown balance: inconclusive.
+	if v := Check(0.3, 0.001, 0); v != Inconclusive {
+		t.Errorf("verdict = %v, want inconclusive", v)
+	}
+	for _, v := range []Verdict{BandwidthBound, NotBound, Inconclusive} {
+		if v.String() == "" {
+			t.Errorf("empty verdict string")
+		}
+	}
+}
+
+func TestCGReproducesPaperConclusion(t *testing.T) {
+	// Section 5.2.3: CG's vertical bound per FLOP (0.3) exceeds the balance
+	// of every Table-1 machine, so CG is vertically bandwidth bound
+	// everywhere; its horizontal upper bound per FLOP falls below every
+	// machine's horizontal balance, so the network is not the bottleneck.
+	p := bounds.CGParams{Dim: 3, N: 1000, Iterations: 100, Processors: 2048 * 16, Nodes: 2048}
+	vert := bounds.CGVerticalPerFlop(p)
+	horiz := bounds.CGHorizontalPerFlop(p)
+
+	vrows, err := EvaluateVertical("CG", vert, -1, machine.Table1())
+	if err != nil {
+		t.Fatalf("EvaluateVertical: %v", err)
+	}
+	for _, r := range vrows {
+		if r.Verdict != BandwidthBound {
+			t.Errorf("CG on %s: vertical verdict %v, want bandwidth bound", r.Machine, r.Verdict)
+		}
+	}
+	hrows, err := EvaluateHorizontal("CG", 0, horiz, machine.Table1())
+	if err != nil {
+		t.Fatalf("EvaluateHorizontal: %v", err)
+	}
+	for _, r := range hrows {
+		if r.Verdict != NotBound {
+			t.Errorf("CG on %s: horizontal verdict %v, want not bound", r.Machine, r.Verdict)
+		}
+	}
+	table := FormatTable(append(vrows, hrows...))
+	for _, want := range []string{"CG", "IBM BG/Q", "Cray XT5", "bandwidth bound", "not bandwidth bound"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestGMRESCrossover(t *testing.T) {
+	// Section 5.3.3: for small m GMRES stays vertically bandwidth bound
+	// (6/(m+20) > balance); for very large m the computation dominates and
+	// the lower-bound criterion no longer proves it bandwidth bound.
+	machines := machine.Table1()
+	small := bounds.GMRESParams{Dim: 3, N: 1000, Iterations: 5, Processors: 2048 * 16, Nodes: 2048}
+	rows, err := EvaluateVertical("GMRES m=5", bounds.GMRESVerticalPerFlop(small), -1, machines)
+	if err != nil {
+		t.Fatalf("EvaluateVertical: %v", err)
+	}
+	for _, r := range rows {
+		if r.Verdict != BandwidthBound {
+			t.Errorf("GMRES m=5 on %s: %v, want bandwidth bound", r.Machine, r.Verdict)
+		}
+	}
+	big := bounds.GMRESParams{Dim: 3, N: 1000, Iterations: 500, Processors: 2048 * 16, Nodes: 2048}
+	rowsBig, err := EvaluateVertical("GMRES m=500", bounds.GMRESVerticalPerFlop(big), -1, machines)
+	if err != nil {
+		t.Fatalf("EvaluateVertical: %v", err)
+	}
+	for _, r := range rowsBig {
+		if r.Verdict == BandwidthBound {
+			t.Errorf("GMRES m=500 on %s should no longer be provably bandwidth bound", r.Machine)
+		}
+	}
+}
+
+func TestJacobiBalanceCriterion(t *testing.T) {
+	// Section 5.4.3: common low-dimensional stencils are not vertically
+	// bandwidth bound at the main-memory/L2 boundary of BG/Q (the Theorem 10
+	// bound is tight, so the per-FLOP traffic is also an upper bound).
+	bgq := machine.IBMBGQ()
+	beta, err := bgq.VerticalBalance()
+	if err != nil {
+		t.Fatalf("VerticalBalance: %v", err)
+	}
+	s := bgq.CacheCapacityWords()
+	for _, d := range []int{1, 2, 3, 4} {
+		perFlop := bounds.JacobiVerticalPerFlop(d, s)
+		row := Evaluate("Jacobi", "vertical", bgq.Name, perFlop, perFlop, beta)
+		if row.Verdict != NotBound {
+			t.Errorf("d=%d: verdict %v, want not bound (perFlop=%v, balance=%v)",
+				d, row.Verdict, perFlop, beta)
+		}
+	}
+	// The threshold dimension reported by the bound is finite: high enough
+	// dimensional stencils do become bandwidth bound.
+	dMax := bounds.JacobiMaxUnboundDimension(beta, s)
+	tooHigh := int(dMax) + 1
+	perFlop := bounds.JacobiVerticalPerFlop(tooHigh, s)
+	row := Evaluate("Jacobi", "vertical", bgq.Name, perFlop, perFlop, beta)
+	if row.Verdict != BandwidthBound {
+		t.Errorf("d=%d (beyond threshold %.2f): verdict %v, want bandwidth bound",
+			tooHigh, dMax, row.Verdict)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	broken := machine.Machine{Name: "broken", Nodes: 1, CoresPerNode: 1, FlopsPerCore: 1, MainMemoryWords: 1}
+	if _, err := EvaluateVertical("x", 1, 1, []machine.Machine{broken}); err == nil {
+		t.Errorf("expected vertical balance error")
+	}
+	if _, err := EvaluateHorizontal("x", 1, 1, []machine.Machine{broken}); err == nil {
+		t.Errorf("expected horizontal balance error")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(machine.Table1())
+	for _, want := range []string{"IBM BG/Q", "Cray XT5", "2048", "9408", "0.052", "0.0256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTableUnknowns(t *testing.T) {
+	rows := []Row{
+		{Algorithm: "x", Direction: "vertical", Machine: "m", LowerPerFlop: 0, UpperPerFlop: -1, Balance: 0.1, Verdict: Inconclusive},
+	}
+	out := FormatTable(rows)
+	if !strings.Contains(out, "-") {
+		t.Errorf("unknown bounds should render as '-':\n%s", out)
+	}
+}

@@ -1,0 +1,28 @@
+// Package cdag provides the computational directed acyclic graph (CDAG)
+// representation used throughout the library.
+//
+// A CDAG follows the model of Hong & Kung and of Elango et al.: it is a
+// 4-tuple (I, V, E, O) where V is the vertex set, E ⊆ V×V the edge set,
+// I ⊆ V the set of vertices tagged as inputs and O ⊆ V the set of vertices
+// tagged as outputs.  Vertices represent scalar computational operations and
+// edges represent flow of values between operations.  Two properties of the
+// representation matter for the data-movement analyses built on top of it:
+//
+//  1. No execution order is encoded: only the partial order induced by the
+//     edges constrains scheduling.
+//  2. No memory locations are associated with operands or results.
+//
+// Unlike the original Hong–Kung model, and following the Red-Blue-White
+// pebble-game refinement (Elango et al., Section 3), the input/output tagging
+// is flexible: a vertex without predecessors need not be tagged as an input
+// and a vertex without successors need not be tagged as an output.  The
+// tagging directly affects the pebble games and the derived bounds, so the
+// package keeps it explicit and mutable (see Graph.TagInput, Graph.UntagInput
+// and friends, which implement the relabeling used by the tagging/untagging
+// theorem).
+//
+// Graphs are built either through the incremental Builder-style methods
+// (NewGraph, AddVertex, AddEdge) or by the generators in package gen and the
+// tracer in package trace.  Vertex identifiers are dense small integers,
+// which keeps the pebble-game engines and graph algorithms allocation-light.
+package cdag

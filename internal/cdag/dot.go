@@ -1,0 +1,90 @@
+package cdag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT export.
+type DOTOptions struct {
+	// RankLevels places vertices of equal longest-path level on the same rank.
+	RankLevels bool
+	// MaxVertices truncates the export (a comment notes the truncation) so
+	// that accidentally exporting a million-vertex CDAG stays cheap.  Zero
+	// means no limit.
+	MaxVertices int
+}
+
+// WriteDOT writes the graph in Graphviz DOT format.  Input vertices are drawn
+// as boxes, outputs as double circles, and plain computation vertices as
+// ellipses.
+func (g *Graph) WriteDOT(w io.Writer, opt DOTOptions) error {
+	n := g.NumVertices()
+	limit := n
+	if opt.MaxVertices > 0 && opt.MaxVertices < n {
+		limit = opt.MaxVertices
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDOTName(g.name))
+	b.WriteString("  rankdir=TB;\n")
+	if limit < n {
+		fmt.Fprintf(&b, "  // truncated: showing %d of %d vertices\n", limit, n)
+	}
+	for v := 0; v < limit; v++ {
+		id := VertexID(v)
+		shape := "ellipse"
+		switch {
+		case g.IsInput(id) && g.IsOutput(id):
+			shape = "Msquare"
+		case g.IsInput(id):
+			shape = "box"
+		case g.IsOutput(id):
+			shape = "doublecircle"
+		}
+		label := g.Label(id)
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", v, label, shape)
+	}
+	for v := 0; v < limit; v++ {
+		for _, w2 := range g.succ[v] {
+			if int(w2) < limit {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", v, w2)
+			}
+		}
+	}
+	if opt.RankLevels {
+		if level, maxLevel, err := g.Levels(); err == nil {
+			for l := 0; l <= maxLevel; l++ {
+				var same []string
+				for v := 0; v < limit; v++ {
+					if level[v] == l {
+						same = append(same, fmt.Sprintf("n%d", v))
+					}
+				}
+				if len(same) > 1 {
+					fmt.Fprintf(&b, "  { rank=same; %s }\n", strings.Join(same, "; "))
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeDOTName(s string) string {
+	if s == "" {
+		return "cdag"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

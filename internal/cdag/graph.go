@@ -1,0 +1,393 @@
+package cdag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex within a Graph.  IDs are dense: the vertices
+// of a graph with n vertices are exactly 0..n-1, in insertion order.
+type VertexID int32
+
+// InvalidVertex is returned by lookups that fail to resolve a vertex.
+const InvalidVertex VertexID = -1
+
+// Graph is a computational DAG (CDAG).  The zero value is an empty graph
+// ready for use; NewGraph is provided for symmetry and to pre-size storage.
+//
+// Graph is not safe for concurrent mutation.  Concurrent read-only use is
+// safe once construction is complete.
+type Graph struct {
+	name string
+
+	succ [][]VertexID // succ[v] = successors of v, in insertion order
+	pred [][]VertexID // pred[v] = predecessors of v, in insertion order
+
+	label  []string // optional human-readable label per vertex
+	input  []bool   // input tag per vertex
+	output []bool   // output tag per vertex
+
+	nInputs  int
+	nOutputs int
+	nEdges   int
+
+	frozen bool
+}
+
+// NewGraph returns an empty graph with the given name and storage pre-sized
+// for hint vertices.  A hint of 0 is valid.
+func NewGraph(name string, hint int) *Graph {
+	g := &Graph{name: name}
+	if hint > 0 {
+		g.succ = make([][]VertexID, 0, hint)
+		g.pred = make([][]VertexID, 0, hint)
+		g.label = make([]string, 0, hint)
+		g.input = make([]bool, 0, hint)
+		g.output = make([]bool, 0, hint)
+	}
+	return g
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// SetName sets the graph's name.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.succ) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// NumInputs returns |I|, the number of vertices tagged as inputs.
+func (g *Graph) NumInputs() int { return g.nInputs }
+
+// NumOutputs returns |O|, the number of vertices tagged as outputs.
+func (g *Graph) NumOutputs() int { return g.nOutputs }
+
+// NumOperations returns |V| − |I|, the number of compute (non-input) vertices.
+func (g *Graph) NumOperations() int { return g.NumVertices() - g.nInputs }
+
+// Freeze marks the graph immutable.  Subsequent mutations panic.  Freezing is
+// optional; it exists to catch accidental modification of shared graphs.
+func (g *Graph) Freeze() { g.frozen = true }
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+func (g *Graph) mutable() {
+	if g.frozen {
+		panic("cdag: mutation of frozen graph")
+	}
+}
+
+// AddVertex appends a new vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(label string) VertexID {
+	g.mutable()
+	id := VertexID(len(g.succ))
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.label = append(g.label, label)
+	g.input = append(g.input, false)
+	g.output = append(g.output, false)
+	return id
+}
+
+// AddInput appends a new vertex tagged as an input and returns its ID.
+func (g *Graph) AddInput(label string) VertexID {
+	v := g.AddVertex(label)
+	g.TagInput(v)
+	return v
+}
+
+// AddOutput appends a new vertex tagged as an output and returns its ID.
+func (g *Graph) AddOutput(label string) VertexID {
+	v := g.AddVertex(label)
+	g.TagOutput(v)
+	return v
+}
+
+// AddVertices appends n unlabeled vertices and returns the ID of the first.
+// The new vertices are first, first+1, ..., first+n-1.
+func (g *Graph) AddVertices(n int) VertexID {
+	g.mutable()
+	first := VertexID(len(g.succ))
+	for i := 0; i < n; i++ {
+		g.AddVertex("")
+	}
+	return first
+}
+
+// ValidVertex reports whether v names a vertex of g.
+func (g *Graph) ValidVertex(v VertexID) bool {
+	return v >= 0 && int(v) < len(g.succ)
+}
+
+func (g *Graph) checkVertex(v VertexID) {
+	if !g.ValidVertex(v) {
+		panic(fmt.Sprintf("cdag: vertex %d out of range [0,%d)", v, len(g.succ)))
+	}
+}
+
+// AddEdge adds the directed edge u→v.  Duplicate edges are ignored (the CDAG
+// model carries no multiplicity).  Self-loops are rejected with a panic since
+// they would make the graph cyclic.
+func (g *Graph) AddEdge(u, v VertexID) {
+	g.mutable()
+	g.checkVertex(u)
+	g.checkVertex(v)
+	if u == v {
+		panic(fmt.Sprintf("cdag: self-loop on vertex %d", u))
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.nEdges++
+}
+
+// HasEdge reports whether the edge u→v is present.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if !g.ValidVertex(u) || !g.ValidVertex(v) {
+		return false
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Successors returns the successors of v.  The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Successors(v VertexID) []VertexID {
+	g.checkVertex(v)
+	return g.succ[v]
+}
+
+// Predecessors returns the predecessors of v.  The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Predecessors(v VertexID) []VertexID {
+	g.checkVertex(v)
+	return g.pred[v]
+}
+
+// OutDegree returns the number of successors of v.
+func (g *Graph) OutDegree(v VertexID) int { g.checkVertex(v); return len(g.succ[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Graph) InDegree(v VertexID) int { g.checkVertex(v); return len(g.pred[v]) }
+
+// Label returns the label of v (possibly empty).
+func (g *Graph) Label(v VertexID) string { g.checkVertex(v); return g.label[v] }
+
+// SetLabel sets the label of v.
+func (g *Graph) SetLabel(v VertexID, label string) {
+	g.mutable()
+	g.checkVertex(v)
+	g.label[v] = label
+}
+
+// IsInput reports whether v is tagged as an input vertex.
+func (g *Graph) IsInput(v VertexID) bool { g.checkVertex(v); return g.input[v] }
+
+// IsOutput reports whether v is tagged as an output vertex.
+func (g *Graph) IsOutput(v VertexID) bool { g.checkVertex(v); return g.output[v] }
+
+// TagInput tags v as an input vertex (idempotent).
+func (g *Graph) TagInput(v VertexID) {
+	g.mutable()
+	g.checkVertex(v)
+	if !g.input[v] {
+		g.input[v] = true
+		g.nInputs++
+	}
+}
+
+// UntagInput removes the input tag from v (idempotent).  This implements the
+// vertex relabeling used by the tagging/untagging theorem (Theorem 3).
+func (g *Graph) UntagInput(v VertexID) {
+	g.mutable()
+	g.checkVertex(v)
+	if g.input[v] {
+		g.input[v] = false
+		g.nInputs--
+	}
+}
+
+// TagOutput tags v as an output vertex (idempotent).
+func (g *Graph) TagOutput(v VertexID) {
+	g.mutable()
+	g.checkVertex(v)
+	if !g.output[v] {
+		g.output[v] = true
+		g.nOutputs++
+	}
+}
+
+// UntagOutput removes the output tag from v (idempotent).
+func (g *Graph) UntagOutput(v VertexID) {
+	g.mutable()
+	g.checkVertex(v)
+	if g.output[v] {
+		g.output[v] = false
+		g.nOutputs--
+	}
+}
+
+// Inputs returns the IDs of all input-tagged vertices in increasing order.
+func (g *Graph) Inputs() []VertexID {
+	out := make([]VertexID, 0, g.nInputs)
+	for v := range g.input {
+		if g.input[v] {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// Outputs returns the IDs of all output-tagged vertices in increasing order.
+func (g *Graph) Outputs() []VertexID {
+	out := make([]VertexID, 0, g.nOutputs)
+	for v := range g.output {
+		if g.output[v] {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// Sources returns all vertices with no predecessors, in increasing order.
+func (g *Graph) Sources() []VertexID {
+	var out []VertexID
+	for v := range g.pred {
+		if len(g.pred[v]) == 0 {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// Sinks returns all vertices with no successors, in increasing order.
+func (g *Graph) Sinks() []VertexID {
+	var out []VertexID
+	for v := range g.succ {
+		if len(g.succ[v]) == 0 {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// Vertices returns all vertex IDs, 0..n-1.
+func (g *Graph) Vertices() []VertexID {
+	out := make([]VertexID, g.NumVertices())
+	for i := range out {
+		out[i] = VertexID(i)
+	}
+	return out
+}
+
+// TagHongKung applies the Hong–Kung convention: every source becomes an input
+// and every sink becomes an output.  Useful when converting a generator graph
+// to the classical red-blue game setting.
+func (g *Graph) TagHongKung() {
+	for _, v := range g.Sources() {
+		g.TagInput(v)
+	}
+	for _, v := range g.Sinks() {
+		g.TagOutput(v)
+	}
+}
+
+// Clone returns a deep copy of the graph.  The clone is not frozen even if g
+// is, so it can be relabeled or extended.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		name:     g.name,
+		succ:     make([][]VertexID, len(g.succ)),
+		pred:     make([][]VertexID, len(g.pred)),
+		label:    append([]string(nil), g.label...),
+		input:    append([]bool(nil), g.input...),
+		output:   append([]bool(nil), g.output...),
+		nInputs:  g.nInputs,
+		nOutputs: g.nOutputs,
+		nEdges:   g.nEdges,
+	}
+	for v := range g.succ {
+		if len(g.succ[v]) > 0 {
+			c.succ[v] = append([]VertexID(nil), g.succ[v]...)
+		}
+		if len(g.pred[v]) > 0 {
+			c.pred[v] = append([]VertexID(nil), g.pred[v]...)
+		}
+	}
+	return c
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrCyclic          = errors.New("cdag: graph contains a cycle")
+	ErrInputHasPred    = errors.New("cdag: input vertex has predecessors")
+	ErrOperationNoPred = errors.New("cdag: strict Hong-Kung mode: non-input vertex has no predecessors")
+	ErrSinkNotOutput   = errors.New("cdag: strict Hong-Kung mode: sink vertex not tagged as output")
+)
+
+// ValidateMode selects how strictly Validate checks input/output tagging.
+type ValidateMode int
+
+const (
+	// ValidateRBW checks only the requirements of the Red-Blue-White model:
+	// acyclicity, and that input vertices have no predecessors.
+	ValidateRBW ValidateMode = iota
+	// ValidateHongKung additionally requires every source to be an input and
+	// every sink to be an output (Definition 1/2 of the paper).
+	ValidateHongKung
+)
+
+// Validate checks structural invariants of the CDAG under the given mode and
+// returns the first violation found, or nil.
+func (g *Graph) Validate(mode ValidateMode) error {
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := VertexID(v)
+		if g.input[v] && len(g.pred[v]) > 0 {
+			return fmt.Errorf("%w: vertex %d (%q)", ErrInputHasPred, id, g.label[v])
+		}
+		if mode == ValidateHongKung {
+			if !g.input[v] && len(g.pred[v]) == 0 {
+				return fmt.Errorf("%w: vertex %d (%q)", ErrOperationNoPred, id, g.label[v])
+			}
+			if !g.output[v] && len(g.succ[v]) == 0 {
+				return fmt.Errorf("%w: vertex %d (%q)", ErrSinkNotOutput, id, g.label[v])
+			}
+		}
+	}
+	return nil
+}
+
+// String returns a short human-readable summary of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("CDAG %q: |V|=%d |E|=%d |I|=%d |O|=%d",
+		g.name, g.NumVertices(), g.NumEdges(), g.nInputs, g.nOutputs)
+}
+
+// SortAdjacency sorts all adjacency lists in increasing vertex order.  The
+// analyses do not require sorted adjacency, but sorting makes traversals and
+// generated schedules independent of construction order, which keeps tests
+// and benchmarks deterministic across generator refactorings.
+func (g *Graph) SortAdjacency() {
+	g.mutable()
+	for v := range g.succ {
+		sort.Slice(g.succ[v], func(i, j int) bool { return g.succ[v][i] < g.succ[v][j] })
+		sort.Slice(g.pred[v], func(i, j int) bool { return g.pred[v][i] < g.pred[v][j] })
+	}
+}

@@ -1,0 +1,106 @@
+package cdag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Name     string     `json:"name"`
+	Vertices int        `json:"vertices"`
+	Labels   []string   `json:"labels,omitempty"`
+	Edges    [][2]int32 `json:"edges"`
+	Inputs   []int32    `json:"inputs"`
+	Outputs  []int32    `json:"outputs"`
+}
+
+// MarshalJSON encodes the graph in a compact adjacency-list form.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Name:     g.name,
+		Vertices: g.NumVertices(),
+		Edges:    make([][2]int32, 0, g.nEdges),
+		Inputs:   make([]int32, 0, g.nInputs),
+		Outputs:  make([]int32, 0, g.nOutputs),
+	}
+	hasLabels := false
+	for _, l := range g.label {
+		if l != "" {
+			hasLabels = true
+			break
+		}
+	}
+	if hasLabels {
+		jg.Labels = g.label
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.succ[v] {
+			jg.Edges = append(jg.Edges, [2]int32{int32(v), int32(w)})
+		}
+		if g.input[v] {
+			jg.Inputs = append(jg.Inputs, int32(v))
+		}
+		if g.output[v] {
+			jg.Outputs = append(jg.Outputs, int32(v))
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	if jg.Vertices < 0 {
+		return fmt.Errorf("cdag: negative vertex count %d", jg.Vertices)
+	}
+	ng := NewGraph(jg.Name, jg.Vertices)
+	for i := 0; i < jg.Vertices; i++ {
+		label := ""
+		if i < len(jg.Labels) {
+			label = jg.Labels[i]
+		}
+		ng.AddVertex(label)
+	}
+	for _, e := range jg.Edges {
+		u, v := VertexID(e[0]), VertexID(e[1])
+		if !ng.ValidVertex(u) || !ng.ValidVertex(v) {
+			return fmt.Errorf("cdag: edge (%d,%d) out of range", u, v)
+		}
+		ng.AddEdge(u, v)
+	}
+	for _, v := range jg.Inputs {
+		if !ng.ValidVertex(VertexID(v)) {
+			return fmt.Errorf("cdag: input vertex %d out of range", v)
+		}
+		ng.TagInput(VertexID(v))
+	}
+	for _, v := range jg.Outputs {
+		if !ng.ValidVertex(VertexID(v)) {
+			return fmt.Errorf("cdag: output vertex %d out of range", v)
+		}
+		ng.TagOutput(VertexID(v))
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteJSON writes the graph as JSON to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(g)
+}
+
+// ReadJSON reads a graph in the format written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

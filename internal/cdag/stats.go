@@ -1,0 +1,67 @@
+package cdag
+
+import "fmt"
+
+// Stats summarizes structural properties of a CDAG.
+type Stats struct {
+	Vertices   int
+	Edges      int
+	Inputs     int
+	Outputs    int
+	Sources    int
+	Sinks      int
+	MaxInDeg   int
+	MaxOutDeg  int
+	AvgInDeg   float64
+	Depth      int // critical path length in vertices
+	MaxLevelSz int // size of the widest level (a crude parallelism measure)
+}
+
+// ComputeStats gathers Stats for g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Inputs:   g.NumInputs(),
+		Outputs:  g.NumOutputs(),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := VertexID(v)
+		in, out := g.InDegree(id), g.OutDegree(id)
+		if in == 0 {
+			s.Sources++
+		}
+		if out == 0 {
+			s.Sinks++
+		}
+		if in > s.MaxInDeg {
+			s.MaxInDeg = in
+		}
+		if out > s.MaxOutDeg {
+			s.MaxOutDeg = out
+		}
+	}
+	if s.Vertices > 0 {
+		s.AvgInDeg = float64(s.Edges) / float64(s.Vertices)
+	}
+	if level, maxLevel, err := g.Levels(); err == nil {
+		s.Depth = maxLevel + 1
+		counts := make([]int, maxLevel+1)
+		for _, l := range level {
+			counts[l]++
+		}
+		for _, c := range counts {
+			if c > s.MaxLevelSz {
+				s.MaxLevelSz = c
+			}
+		}
+	}
+	return s
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d |I|=%d |O|=%d sources=%d sinks=%d maxIn=%d maxOut=%d depth=%d width=%d",
+		s.Vertices, s.Edges, s.Inputs, s.Outputs, s.Sources, s.Sinks,
+		s.MaxInDeg, s.MaxOutDeg, s.Depth, s.MaxLevelSz)
+}

@@ -1,0 +1,249 @@
+// Package core ties the library together: it is the unified analyzer that,
+// given a CDAG (or one of the paper's algorithm families) and a machine
+// description, computes data-movement lower bounds with every applicable
+// technique, measures the data movement of explicit schedules as upper
+// bounds, and renders the comparison reports of the paper's evaluation
+// section.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cdagio/internal/bounds"
+	"cdagio/internal/cdag"
+	"cdagio/internal/graphalg"
+	"cdagio/internal/memsim"
+	"cdagio/internal/partition"
+	"cdagio/internal/pebble"
+	"cdagio/internal/prbw"
+	"cdagio/internal/sched"
+	"cdagio/internal/wavefront"
+)
+
+// Options configures a sequential CDAG analysis.
+type Options struct {
+	// FastMemory is the fast-memory capacity S, in values.
+	FastMemory int
+	// WavefrontCandidates caps how many vertices the min-cut wavefront bound
+	// examines (0 selects a degree-ranked sample of 32; negative examines
+	// every vertex, which is expensive on large CDAGs).
+	WavefrontCandidates int
+	// ExactPartitionLimit is the largest operation count for which the exact
+	// U(2S) search (and with it the Corollary 1 bound) runs.  Zero selects 20.
+	ExactPartitionLimit int
+	// ExactOptimalLimit is the largest vertex count for which the exact
+	// optimal pebble-game search runs.  Zero disables it.
+	ExactOptimalLimit int
+	// Schedule supplies the schedule whose measured I/O becomes the upper
+	// bound; nil selects the topological order.
+	Schedule []cdag.VertexID
+}
+
+// Analysis is the result of a sequential CDAG analysis.
+type Analysis struct {
+	Graph      *cdag.Graph
+	FastMemory int
+
+	// LowerBounds lists every lower bound that was computed (trivial
+	// compulsory I/O, Lemma 2 wavefront, Corollary 1 partition, exact search).
+	LowerBounds []bounds.Bound
+	// Upper is the measured I/O of the analyzed schedule.
+	Upper bounds.Bound
+	// ExactOptimal is the exact optimum when the exact search ran (else nil).
+	ExactOptimal *bounds.Bound
+	// WMax is the wavefront lower bound value used by Lemma 2 and the vertex
+	// attaining it.
+	WMax         int
+	WMaxAt       cdag.VertexID
+	MeasuredIO   int64
+	ScheduleUsed string
+}
+
+// BestLower returns the largest lower bound.
+func (a *Analysis) BestLower() bounds.Bound {
+	best := bounds.Bound{Kind: bounds.Lower, Technique: "none"}
+	for _, b := range a.LowerBounds {
+		if b.Value > best.Value {
+			best = b
+		}
+	}
+	return best
+}
+
+// Gap returns the ratio of the measured upper bound to the best lower bound
+// (infinity when the lower bound is zero).
+func (a *Analysis) Gap() float64 {
+	lb := a.BestLower().Value
+	if lb <= 0 {
+		return -1
+	}
+	return a.Upper.Value / lb
+}
+
+// Analyze performs a sequential data-movement analysis of g with S words of
+// fast memory: every applicable lower-bound technique plus a measured
+// schedule as the upper bound.
+func Analyze(g *cdag.Graph, opts Options) (*Analysis, error) {
+	if opts.FastMemory < 1 {
+		return nil, fmt.Errorf("core: fast memory must be at least 1 word")
+	}
+	s := opts.FastMemory
+	a := &Analysis{Graph: g, FastMemory: s}
+
+	// Trivial compulsory bound: every input is loaded and every output stored
+	// at least once in the RBW game.
+	a.LowerBounds = append(a.LowerBounds, bounds.Bound{
+		Value:     float64(g.NumInputs() + g.NumOutputs()),
+		Kind:      bounds.Lower,
+		Technique: "compulsory |I| + |O|",
+	})
+
+	// Min-cut wavefront bound (Lemma 2).
+	candidates := opts.WavefrontCandidates
+	var candidateSet []cdag.VertexID
+	switch {
+	case candidates < 0:
+		candidateSet = nil // all vertices
+	case candidates == 0:
+		candidateSet = wavefront.TopCandidates(g, 32)
+	default:
+		candidateSet = wavefront.TopCandidates(g, candidates)
+	}
+	a.WMax, a.WMaxAt = wavefront.WMax(g, candidateSet)
+	a.LowerBounds = append(a.LowerBounds, bounds.Bound{
+		Value:       float64(wavefront.Lemma2Bound(a.WMax, s)),
+		Kind:        bounds.Lower,
+		Technique:   "min-cut wavefront (Lemma 2)",
+		Assumptions: fmt.Sprintf("wmax >= %d at vertex %d", a.WMax, a.WMaxAt),
+	})
+
+	// 2S-partition bound (Corollary 1) via the exact U(2S) search on small
+	// CDAGs.
+	exactLimit := opts.ExactPartitionLimit
+	if exactLimit == 0 {
+		exactLimit = 20
+	}
+	if g.NumOperations() <= exactLimit {
+		if u, err := partition.MaxVertexSetSizeExact(g, 2*s, exactLimit); err == nil && u > 0 {
+			a.LowerBounds = append(a.LowerBounds, bounds.Bound{
+				Value:       float64(partition.Corollary1Bound(s, g.NumOperations(), u)),
+				Kind:        bounds.Lower,
+				Technique:   "2S-partition (Corollary 1)",
+				Assumptions: fmt.Sprintf("exact U(2S) = %d", u),
+			})
+		}
+	}
+
+	// Exact optimal search on very small CDAGs.
+	if opts.ExactOptimalLimit > 0 && g.NumVertices() <= opts.ExactOptimalLimit {
+		if opt, err := pebble.OptimalIO(g, pebble.RBW, s, pebble.OptimalOptions{}); err == nil {
+			b := bounds.Bound{
+				Value:     float64(opt),
+				Kind:      bounds.Lower,
+				Technique: "exact optimal game (Dijkstra search)",
+			}
+			a.ExactOptimal = &b
+			a.LowerBounds = append(a.LowerBounds, b)
+		}
+	}
+
+	// Measured upper bound.
+	order := opts.Schedule
+	scheduleName := "topological"
+	if order == nil {
+		order = sched.Topological(g)
+	} else {
+		scheduleName = "caller-supplied"
+	}
+	res, err := pebble.PlaySchedule(g, pebble.RBW, s, order, pebble.Belady, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule playback failed: %w", err)
+	}
+	a.MeasuredIO = int64(res.IO())
+	a.ScheduleUsed = scheduleName
+	a.Upper = bounds.Bound{
+		Value:       float64(res.IO()),
+		Kind:        bounds.Upper,
+		Technique:   fmt.Sprintf("RBW schedule player (%s order, Belady eviction)", scheduleName),
+		Assumptions: fmt.Sprintf("S=%d", s),
+	}
+	return a, nil
+}
+
+// Report renders the analysis as a human-readable block.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data-movement analysis of %s with S = %d\n", a.Graph, a.FastMemory)
+	for _, lb := range a.LowerBounds {
+		fmt.Fprintf(&b, "  %s\n", lb)
+	}
+	fmt.Fprintf(&b, "  %s\n", a.Upper)
+	best := a.BestLower()
+	fmt.Fprintf(&b, "  best lower bound: %.6g [%s]\n", best.Value, best.Technique)
+	if gap := a.Gap(); gap > 0 {
+		fmt.Fprintf(&b, "  upper/lower gap: %.3g\n", gap)
+	}
+	return b.String()
+}
+
+// ParallelOptions configures a parallel analysis.
+type ParallelOptions struct {
+	// Topology is the storage hierarchy to simulate.
+	Topology prbw.Topology
+	// Assignment maps the schedule onto processors; the zero value selects a
+	// single-processor run.
+	Assignment prbw.Assignment
+	// SequentialLower, when positive, is a sequential I/O lower bound for the
+	// CDAG with fast memory S_{L−1}·N_{L−1}/N_L per node, used by the
+	// Theorem 5 conversion.
+	SequentialLower float64
+}
+
+// ParallelAnalysis reports the parallel data movement of a CDAG.
+type ParallelAnalysis struct {
+	Stats *prbw.Stats
+	// VerticalLower and HorizontalLower are the Theorem 5/7 conversions when
+	// enough information was supplied (zero otherwise).
+	VerticalLower   bounds.Bound
+	HorizontalLower bounds.Bound
+}
+
+// AnalyzeParallel plays the assignment on the topology with the P-RBW game
+// and derives the parallel bounds.
+func AnalyzeParallel(g *cdag.Graph, opts ParallelOptions) (*ParallelAnalysis, error) {
+	asg := opts.Assignment
+	if len(asg.Order) == 0 {
+		asg = prbw.SingleProcessor(g)
+	}
+	stats, err := prbw.Play(g, opts.Topology, asg)
+	if err != nil {
+		return nil, err
+	}
+	pa := &ParallelAnalysis{Stats: stats}
+	L := opts.Topology.NumLevels()
+	if opts.SequentialLower > 0 {
+		pa.VerticalLower = bounds.VerticalFromSequential(bounds.Bound{
+			Value: opts.SequentialLower, Kind: bounds.Lower, Technique: "sequential bound",
+		}, opts.Topology.Units(L))
+	}
+	return pa, nil
+}
+
+// MemsimUpperBound runs the lightweight simulator on the schedule/partition
+// and returns the measured vertical and horizontal traffic, which serve as
+// upper bounds for the corresponding lower bounds.
+func MemsimUpperBound(g *cdag.Graph, nodes, fastWords int, order []cdag.VertexID, owner []int) (*memsim.Stats, error) {
+	return memsim.Run(g, memsim.Config{Nodes: nodes, FastWords: fastWords, Policy: memsim.Belady}, order, owner)
+}
+
+// DominatorLowerBound returns the Hong–Kung style bound obtained from the
+// minimum dominator of the output set: every path from the inputs to the
+// outputs crosses the dominator, and each dominator vertex must pass through
+// fast memory, so the I/O is at least max(0, |Dom| − S) ... reported here
+// simply as the dominator size for diagnostic purposes.
+func DominatorLowerBound(g *cdag.Graph) (int, []cdag.VertexID) {
+	outs := cdag.NewVertexSet(g.NumVertices())
+	outs.AddAll(g.Outputs())
+	return graphalg.MinDominatorSize(g, outs)
+}

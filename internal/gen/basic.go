@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+)
+
+// Chain returns a path CDAG v0 → v1 → … → v_{n−1} with the first vertex
+// tagged input and the last tagged output.  A chain is computable with 2 red
+// pebbles and exactly 2 I/O operations in the RBW game, which makes it a
+// useful calibration case.
+func Chain(n int) *cdag.Graph {
+	if n < 1 {
+		panic("gen: Chain needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("chain-%d", n), n)
+	prev := g.AddInput("x0")
+	for i := 1; i < n; i++ {
+		v := g.AddVertex(fmt.Sprintf("x%d", i))
+		g.AddEdge(prev, v)
+		prev = v
+	}
+	g.TagOutput(prev)
+	return g
+}
+
+// IndependentChains returns k disjoint chains of length n each, all tagged
+// Hong–Kung style.  Decomposition bounds (Theorem 2) are exercised on it.
+func IndependentChains(k, n int) *cdag.Graph {
+	if k < 1 || n < 1 {
+		panic("gen: IndependentChains needs k, n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("chains-%dx%d", k, n), k*n)
+	for c := 0; c < k; c++ {
+		prev := g.AddInput(fmt.Sprintf("c%d.x0", c))
+		for i := 1; i < n; i++ {
+			v := g.AddVertex(fmt.Sprintf("c%d.x%d", c, i))
+			g.AddEdge(prev, v)
+			prev = v
+		}
+		g.TagOutput(prev)
+	}
+	return g
+}
+
+// ReductionTree returns a balanced binary reduction over n inputs (n ≥ 1):
+// n input leaves combined pairwise until a single output root remains.
+func ReductionTree(n int) *cdag.Graph {
+	if n < 1 {
+		panic("gen: ReductionTree needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("reduce-%d", n), 2*n)
+	level := make([]cdag.VertexID, n)
+	for i := range level {
+		level[i] = g.AddInput(fmt.Sprintf("in%d", i))
+	}
+	for len(level) > 1 {
+		var next []cdag.VertexID
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			v := g.AddVertex("add")
+			g.AddEdge(level[i], v)
+			g.AddEdge(level[i+1], v)
+			next = append(next, v)
+		}
+		level = next
+	}
+	g.TagOutput(level[0])
+	return g
+}
+
+// DotProduct returns the CDAG of ⟨u, v⟩ for vectors of length n: 2n inputs,
+// n multiply vertices, and a balanced reduction to one output.
+func DotProduct(n int) *cdag.Graph {
+	if n < 1 {
+		panic("gen: DotProduct needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("dot-%d", n), 4*n)
+	mults := make([]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		u := g.AddInput(fmt.Sprintf("u%d", i))
+		v := g.AddInput(fmt.Sprintf("v%d", i))
+		m := g.AddVertex(fmt.Sprintf("mul%d", i))
+		g.AddEdge(u, m)
+		g.AddEdge(v, m)
+		mults[i] = m
+	}
+	level := mults
+	for len(level) > 1 {
+		var next []cdag.VertexID
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			v := g.AddVertex("add")
+			g.AddEdge(level[i], v)
+			g.AddEdge(level[i+1], v)
+			next = append(next, v)
+		}
+		level = next
+	}
+	g.TagOutput(level[0])
+	return g
+}
+
+// Saxpy returns the CDAG of y ← a·x + y for vectors of length n: 2n+1 inputs
+// (x, y and the scalar a), n multiply and n add vertices, n outputs.
+func Saxpy(n int) *cdag.Graph {
+	if n < 1 {
+		panic("gen: Saxpy needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("saxpy-%d", n), 4*n+1)
+	a := g.AddInput("a")
+	for i := 0; i < n; i++ {
+		x := g.AddInput(fmt.Sprintf("x%d", i))
+		y := g.AddInput(fmt.Sprintf("y%d", i))
+		m := g.AddVertex(fmt.Sprintf("mul%d", i))
+		g.AddEdge(a, m)
+		g.AddEdge(x, m)
+		s := g.AddOutput(fmt.Sprintf("out%d", i))
+		g.AddEdge(m, s)
+		g.AddEdge(y, s)
+	}
+	return g
+}
+
+// OuterProduct returns the CDAG of the rank-1 update A = u·vᵀ for vectors of
+// length n: 2n inputs and n² multiply vertices, all tagged as outputs.
+// Its I/O cost is 2n + n² regardless of the fast-memory capacity
+// (Section 3 of the paper).
+func OuterProduct(n int) *cdag.Graph {
+	if n < 1 {
+		panic("gen: OuterProduct needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("outer-%d", n), 2*n+n*n)
+	us := make([]cdag.VertexID, n)
+	vs := make([]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		us[i] = g.AddInput(fmt.Sprintf("u%d", i))
+	}
+	for j := 0; j < n; j++ {
+		vs[j] = g.AddInput(fmt.Sprintf("v%d", j))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := g.AddOutput(fmt.Sprintf("A[%d,%d]", i, j))
+			g.AddEdge(us[i], a)
+			g.AddEdge(vs[j], a)
+		}
+	}
+	return g
+}

@@ -1,0 +1,384 @@
+package gen
+
+import (
+	"testing"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/graphalg"
+)
+
+// validateRBW checks the generated graph is a well-formed RBW CDAG.
+func validateRBW(t *testing.T, g *cdag.Graph) {
+	t.Helper()
+	if err := g.Validate(cdag.ValidateRBW); err != nil {
+		t.Fatalf("%s: invalid CDAG: %v", g.Name(), err)
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	validateRBW(t, g)
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain sizes wrong: %v", g)
+	}
+	if g.NumInputs() != 1 || g.NumOutputs() != 1 {
+		t.Fatalf("chain tags wrong: %v", g)
+	}
+	if g.CriticalPathLength() != 5 {
+		t.Fatalf("chain depth = %d", g.CriticalPathLength())
+	}
+	if Chain(1).NumVertices() != 1 {
+		t.Fatalf("singleton chain wrong")
+	}
+}
+
+func TestIndependentChains(t *testing.T) {
+	g := IndependentChains(3, 4)
+	validateRBW(t, g)
+	if g.NumVertices() != 12 || g.NumEdges() != 9 {
+		t.Fatalf("sizes wrong: %v", g)
+	}
+	if g.NumInputs() != 3 || g.NumOutputs() != 3 {
+		t.Fatalf("tags wrong: %v", g)
+	}
+}
+
+func TestReductionTreeAndDot(t *testing.T) {
+	g := ReductionTree(8)
+	validateRBW(t, g)
+	// 8 inputs + 7 internal adds.
+	if g.NumVertices() != 15 || g.NumOutputs() != 1 {
+		t.Fatalf("reduction tree sizes wrong: %v", g)
+	}
+	// Non-power-of-two size.
+	g5 := ReductionTree(5)
+	validateRBW(t, g5)
+	if g5.NumVertices() != 5+4 || g5.NumOutputs() != 1 {
+		t.Fatalf("reduction tree(5) sizes wrong: %v", g5)
+	}
+
+	d := DotProduct(6)
+	validateRBW(t, d)
+	// 12 inputs + 6 multiplies + 5 adds.
+	if d.NumVertices() != 23 || d.NumInputs() != 12 || d.NumOutputs() != 1 {
+		t.Fatalf("dot product sizes wrong: %v", d)
+	}
+}
+
+func TestSaxpyAndOuterProduct(t *testing.T) {
+	s := Saxpy(4)
+	validateRBW(t, s)
+	// 1 scalar + 8 vector inputs + 4 muls + 4 outputs.
+	if s.NumVertices() != 17 || s.NumInputs() != 9 || s.NumOutputs() != 4 {
+		t.Fatalf("saxpy sizes wrong: %v", s)
+	}
+
+	o := OuterProduct(3)
+	validateRBW(t, o)
+	if o.NumVertices() != 6+9 || o.NumInputs() != 6 || o.NumOutputs() != 9 {
+		t.Fatalf("outer product sizes wrong: %v", o)
+	}
+	// Every output has exactly 2 predecessors (one u element, one v element).
+	for _, v := range o.Outputs() {
+		if o.InDegree(v) != 2 {
+			t.Fatalf("outer product output in-degree %d", o.InDegree(v))
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	n := 4
+	r := MatMul(n)
+	g := r.Graph
+	validateRBW(t, g)
+	wantV := 2*n*n + n*n*n + n*n*(n-1)
+	if g.NumVertices() != wantV {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), wantV)
+	}
+	if g.NumInputs() != 2*n*n || g.NumOutputs() != n*n {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	// Each output accumulation chain has depth n (muls) + n−1 (adds) ≥ via
+	// critical path ≥ n.
+	if g.CriticalPathLength() < n {
+		t.Fatalf("critical path %d too short", g.CriticalPathLength())
+	}
+	// Handles are the right shape and outputs.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !g.IsOutput(r.C[i][j]) {
+				t.Fatalf("C[%d][%d] not an output", i, j)
+			}
+		}
+	}
+	if !g.IsInput(r.A[0][0]) || !g.IsInput(r.B[n-1][n-1]) {
+		t.Fatalf("A/B handles not inputs")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	n := 4
+	r := Composite(n)
+	g := r.Graph
+	validateRBW(t, g)
+	if r.Sum == cdag.InvalidVertex || !g.IsOutput(r.Sum) {
+		t.Fatalf("Sum handle wrong")
+	}
+	if len(r.P) != n || len(r.A) != n || len(r.Mul) != n || len(r.CAcc) != n {
+		t.Fatalf("handles missing")
+	}
+	if g.NumInputs() != 4*n || g.NumOutputs() != 1 {
+		t.Fatalf("composite tags wrong: %v", g)
+	}
+	// Vertex count: 4n inputs + 2n² rank-1 products + n³ muls + n²(n−1) adds
+	// + n²−1 sum adds.
+	want := 4*n + 2*n*n + n*n*n + n*n*(n-1) + n*n - 1
+	if g.NumVertices() != want {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), want)
+	}
+	// The single output must depend (transitively) on every input.
+	out := g.Outputs()[0]
+	anc := graphalg.Ancestors(g, out)
+	for _, in := range g.Inputs() {
+		if !anc.Contains(in) {
+			t.Fatalf("output does not depend on input %d", in)
+		}
+	}
+}
+
+func TestFFT(t *testing.T) {
+	n := 8
+	g := FFT(n)
+	validateRBW(t, g)
+	// log2(8)=3 stages of n vertices plus n inputs.
+	if g.NumVertices() != n*4 {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), n*4)
+	}
+	if g.NumInputs() != n || g.NumOutputs() != n {
+		t.Fatalf("FFT tags wrong: %v", g)
+	}
+	// Every non-input vertex has exactly 2 predecessors.
+	for _, v := range g.Vertices() {
+		if !g.IsInput(v) && g.InDegree(v) != 2 {
+			t.Fatalf("FFT vertex %d has in-degree %d", v, g.InDegree(v))
+		}
+	}
+	// Every output depends on every input (full butterfly connectivity).
+	out0 := g.Outputs()[0]
+	anc := graphalg.Ancestors(g, out0)
+	for _, in := range g.Inputs() {
+		if !anc.Contains(in) {
+			t.Fatalf("output %d does not depend on input %d", out0, in)
+		}
+	}
+	// Invalid sizes panic.
+	for _, bad := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() { _ = recover() }()
+			FFT(bad)
+			t.Fatalf("FFT(%d) did not panic", bad)
+		}()
+	}
+}
+
+func TestBinomialTree(t *testing.T) {
+	g := BinomialTree(3)
+	validateRBW(t, g)
+	if g.NumVertices() != 8*4 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if g.NumInputs() != 8 || g.NumOutputs() != 8 {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	// The last element depends on all leaves; the first depends only on leaf 0.
+	outs := g.Outputs()
+	ancLast := graphalg.Ancestors(g, outs[len(outs)-1])
+	if got := countInputs(g, ancLast); got != 8 {
+		t.Fatalf("last output depends on %d inputs, want 8", got)
+	}
+	ancFirst := graphalg.Ancestors(g, outs[0])
+	if got := countInputs(g, ancFirst); got != 1 {
+		t.Fatalf("first output depends on %d inputs, want 1", got)
+	}
+}
+
+func countInputs(g *cdag.Graph, s *cdag.VertexSet) int {
+	n := 0
+	for _, v := range s.Elements() {
+		if g.IsInput(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPyramid(t *testing.T) {
+	h := 4
+	g := Pyramid(h)
+	validateRBW(t, g)
+	if g.NumVertices() != (h+1)*(h+2)/2 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if g.NumInputs() != h+1 || g.NumOutputs() != 1 {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	if g.CriticalPathLength() != h+1 {
+		t.Fatalf("depth = %d, want %d", g.CriticalPathLength(), h+1)
+	}
+}
+
+func TestJacobiStar(t *testing.T) {
+	r := Jacobi(1, 6, 3, StencilStar)
+	g := r.Graph
+	validateRBW(t, g)
+	if g.NumVertices() != 6*4 {
+		t.Fatalf("|V| = %d, want 24", g.NumVertices())
+	}
+	if g.NumInputs() != 6 || g.NumOutputs() != 6 {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	// Interior vertex of a 1-D star stencil has 3 predecessors, boundary has 2.
+	if g.InDegree(r.Layer[1][2]) != 3 {
+		t.Fatalf("interior in-degree = %d", g.InDegree(r.Layer[1][2]))
+	}
+	if g.InDegree(r.Layer[1][0]) != 2 {
+		t.Fatalf("boundary in-degree = %d", g.InDegree(r.Layer[1][0]))
+	}
+	if g.CriticalPathLength() != 4 {
+		t.Fatalf("depth = %d, want T+1 = 4", g.CriticalPathLength())
+	}
+}
+
+func TestJacobiBox2D(t *testing.T) {
+	r := Jacobi(2, 5, 2, StencilBox)
+	g := r.Graph
+	validateRBW(t, g)
+	if g.NumVertices() != 25*3 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// The 9-point stencil: interior vertices have 9 predecessors, corners 4.
+	interior := r.Layer[1][r.Grid.Index([]int{2, 2})]
+	if g.InDegree(interior) != 9 {
+		t.Fatalf("interior in-degree = %d, want 9", g.InDegree(interior))
+	}
+	corner := r.Layer[1][r.Grid.Index([]int{0, 0})]
+	if g.InDegree(corner) != 4 {
+		t.Fatalf("corner in-degree = %d, want 4", g.InDegree(corner))
+	}
+	if StencilBox.String() != "box" || StencilStar.String() != "star" {
+		t.Fatalf("stencil names wrong")
+	}
+}
+
+func TestCGGraph(t *testing.T) {
+	dim, n, iters := 2, 4, 3
+	r := CG(dim, n, iters)
+	g := r.Graph
+	validateRBW(t, g)
+	np := 16
+	if g.NumInputs() != 3*np {
+		t.Fatalf("CG inputs = %d, want %d", g.NumInputs(), 3*np)
+	}
+	if g.NumOutputs() != np {
+		t.Fatalf("CG outputs = %d, want %d", g.NumOutputs(), np)
+	}
+	if len(r.AlphaVertex) != iters || len(r.GammaVertex) != iters || len(r.IterationVertices) != iters {
+		t.Fatalf("per-iteration handles wrong: %d %d %d",
+			len(r.AlphaVertex), len(r.GammaVertex), len(r.IterationVertices))
+	}
+	// Work per iteration is Θ(n^d): with the explicit reduction trees we
+	// expect roughly 10·np vertices per iteration.
+	perIter := (g.NumVertices() - 3*np) / iters
+	if perIter < 8*np || perIter > 14*np {
+		t.Fatalf("per-iteration vertex count %d outside [8np, 14np]", perIter)
+	}
+	// Iteration vertex sets are disjoint and cover all non-input vertices.
+	total := 0
+	for _, s := range r.IterationVertices {
+		total += s.Len()
+	}
+	if total != g.NumVertices()-3*np {
+		t.Fatalf("iteration sets cover %d vertices, want %d", total, g.NumVertices()-3*np)
+	}
+	// The alpha vertex of iteration 0 must depend on all of r0 and p0 and be
+	// an ancestor of the outputs.
+	anc := graphalg.Ancestors(g, r.AlphaVertex[0])
+	if got := countInputs(g, anc); got < 2*np {
+		t.Fatalf("alpha depends on %d inputs, want >= %d", got, 2*np)
+	}
+	desc := graphalg.Descendants(g, r.AlphaVertex[0])
+	out := g.Outputs()[0]
+	if !desc.Contains(out) {
+		t.Fatalf("alpha does not reach the outputs")
+	}
+}
+
+func TestGMRESGraph(t *testing.T) {
+	dim, n, m := 2, 4, 3
+	r := GMRES(dim, n, m)
+	g := r.Graph
+	validateRBW(t, g)
+	np := 16
+	if g.NumInputs() != np || g.NumOutputs() != np {
+		t.Fatalf("GMRES tags wrong: %v", g)
+	}
+	if len(r.LastDotVertex) != m || len(r.NormVertex) != m || len(r.IterationVertices) != m {
+		t.Fatalf("per-iteration handles wrong")
+	}
+	// Iteration i does i+1 inner products, so later iterations create more
+	// vertices than earlier ones.
+	if r.IterationVertices[m-1].Len() <= r.IterationVertices[0].Len() {
+		t.Fatalf("iteration growth not visible: %d vs %d",
+			r.IterationVertices[m-1].Len(), r.IterationVertices[0].Len())
+	}
+	// The final dot of iteration 0 depends on v0 and reaches the outputs.
+	anc := graphalg.Ancestors(g, r.LastDotVertex[0])
+	if got := countInputs(g, anc); got != np {
+		t.Fatalf("h dot depends on %d inputs, want %d", got, np)
+	}
+	desc := graphalg.Descendants(g, r.LastDotVertex[0])
+	if !desc.Contains(g.Outputs()[0]) {
+		t.Fatalf("h dot does not reach outputs")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Chain":             func() { Chain(0) },
+		"IndependentChains": func() { IndependentChains(0, 3) },
+		"ReductionTree":     func() { ReductionTree(0) },
+		"DotProduct":        func() { DotProduct(0) },
+		"Saxpy":             func() { Saxpy(0) },
+		"OuterProduct":      func() { OuterProduct(0) },
+		"MatMul":            func() { MatMul(0) },
+		"Composite":         func() { Composite(0) },
+		"BinomialTree":      func() { BinomialTree(-1) },
+		"Pyramid":           func() { Pyramid(-1) },
+		"Jacobi":            func() { Jacobi(2, 4, 0, StencilStar) },
+		"CG":                func() { CG(2, 4, 0) },
+		"GMRES":             func() { GMRES(2, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on invalid parameters", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := CG(2, 3, 2).Graph
+	b := CG(2, 3, 2).Graph
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("CG generation not deterministic")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		id := cdag.VertexID(v)
+		if a.Label(id) != b.Label(id) || a.InDegree(id) != b.InDegree(id) {
+			t.Fatalf("CG generation differs at vertex %d", v)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+)
+
+// HeatResult bundles the CDAG of the implicit 1-D heat-equation time-stepper
+// (Section 5.1) with its per-time-step vertex groups.
+type HeatResult struct {
+	Graph *cdag.Graph
+	N     int
+	Steps int
+	// U[t][i] is the temperature value at grid point i after t time steps
+	// (U[0] holds the inputs, U[Steps] the outputs).
+	U [][]cdag.VertexID
+	// RHS[t][i], Forward[t][i] and the back-substituted U[t+1][i] are the
+	// three stages of time step t (0-based): the right-hand-side assembly
+	// b = B·u, the forward-elimination recurrence of the Thomas algorithm and
+	// the back-substitution recurrence.
+	RHS     [][]cdag.VertexID
+	Forward [][]cdag.VertexID
+}
+
+// HeatEquation1D returns the CDAG of the Crank–Nicolson time-stepper of
+// Section 5.1: at every time step the tridiagonal system of Equation (11) is
+// solved with the Thomas algorithm.  The matrix coefficients are embedded
+// constants (as the paper assumes), so the CDAG contains only the
+// data-dependent values: per step, n right-hand-side vertices (each depending
+// on up to three previous-step temperatures), a forward-elimination chain of
+// n vertices and a back-substitution chain of n vertices.
+//
+// Unlike the Jacobi sweep, the two per-step chains make the computation
+// deeply sequential: the critical path grows as 2·n·T, which is why implicit
+// time-steppers trade parallelism for stability.
+func HeatEquation1D(n, steps int) *HeatResult {
+	if n < 2 {
+		panic("gen: HeatEquation1D needs n >= 2")
+	}
+	if steps < 1 {
+		panic("gen: HeatEquation1D needs steps >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("heat1d-%d-T%d", n, steps), n*(3*steps+1))
+	res := &HeatResult{Graph: g, N: n, Steps: steps,
+		U:       make([][]cdag.VertexID, steps+1),
+		RHS:     make([][]cdag.VertexID, steps),
+		Forward: make([][]cdag.VertexID, steps),
+	}
+	res.U[0] = make([]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		res.U[0][i] = g.AddInput(fmt.Sprintf("u0[%d]", i))
+	}
+	for t := 0; t < steps; t++ {
+		u := res.U[t]
+		// Right-hand side b = B·u (tridiagonal stencil on the previous step).
+		rhs := make([]cdag.VertexID, n)
+		for i := 0; i < n; i++ {
+			v := g.AddVertex(fmt.Sprintf("b%d[%d]", t, i))
+			if i > 0 {
+				g.AddEdge(u[i-1], v)
+			}
+			g.AddEdge(u[i], v)
+			if i+1 < n {
+				g.AddEdge(u[i+1], v)
+			}
+			rhs[i] = v
+		}
+		res.RHS[t] = rhs
+		// Forward elimination: dp[0] = b[0]/diag; dp[i] = f(b[i], dp[i-1]).
+		fwd := make([]cdag.VertexID, n)
+		for i := 0; i < n; i++ {
+			v := g.AddVertex(fmt.Sprintf("dp%d[%d]", t, i))
+			g.AddEdge(rhs[i], v)
+			if i > 0 {
+				g.AddEdge(fwd[i-1], v)
+			}
+			fwd[i] = v
+		}
+		res.Forward[t] = fwd
+		// Back substitution: x[n-1] = dp[n-1]; x[i] = f(dp[i], x[i+1]).
+		next := make([]cdag.VertexID, n)
+		for i := n - 1; i >= 0; i-- {
+			v := g.AddVertex(fmt.Sprintf("u%d[%d]", t+1, i))
+			g.AddEdge(fwd[i], v)
+			if i+1 < n {
+				g.AddEdge(next[i+1], v)
+			}
+			next[i] = v
+		}
+		res.U[t+1] = next
+	}
+	for _, v := range res.U[steps] {
+		g.TagOutput(v)
+	}
+	return res
+}
+
+// SpMVResult bundles a sparse matrix-vector product CDAG with its row-output
+// handles.
+type SpMVResult struct {
+	Graph *cdag.Graph
+	Rows  int
+	// X[j] are the input-vector vertices and Y[i] the output vertices.
+	X, Y []cdag.VertexID
+}
+
+// SpMV returns the CDAG of y = A·x for a sparse matrix given by its row
+// adjacency (rowCols[i] lists the column indices of row i).  Matrix values
+// are treated as embedded constants, as in the paper's discretized-operator
+// setting: each product x[j]·a_ij is a vertex with the single predecessor
+// x[j], and the products of a row are folded by an accumulation chain whose
+// last vertex is the output y[i].  Empty rows produce a constant-zero output
+// vertex with no predecessors.
+func SpMV(cols int, rowCols [][]int) *SpMVResult {
+	if cols < 1 {
+		panic("gen: SpMV needs at least one column")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("spmv-%dx%d", len(rowCols), cols), 0)
+	res := &SpMVResult{Graph: g, Rows: len(rowCols)}
+	res.X = make([]cdag.VertexID, cols)
+	for j := 0; j < cols; j++ {
+		res.X[j] = g.AddInput(fmt.Sprintf("x[%d]", j))
+	}
+	res.Y = make([]cdag.VertexID, len(rowCols))
+	for i, row := range rowCols {
+		var acc cdag.VertexID = cdag.InvalidVertex
+		for _, j := range row {
+			if j < 0 || j >= cols {
+				panic(fmt.Sprintf("gen: SpMV column %d out of range [0,%d)", j, cols))
+			}
+			m := g.AddVertex(fmt.Sprintf("t[%d,%d]", i, j))
+			g.AddEdge(res.X[j], m)
+			if acc == cdag.InvalidVertex {
+				acc = m
+				continue
+			}
+			add := g.AddVertex(fmt.Sprintf("acc[%d,%d]", i, j))
+			g.AddEdge(acc, add)
+			g.AddEdge(m, add)
+			acc = add
+		}
+		if acc == cdag.InvalidVertex {
+			acc = g.AddVertex(fmt.Sprintf("zero[%d]", i))
+		}
+		g.TagOutput(acc)
+		res.Y[i] = acc
+	}
+	return res
+}

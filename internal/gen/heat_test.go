@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"testing"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/graphalg"
+	"cdagio/internal/linalg"
+)
+
+func TestHeatEquation1DGraph(t *testing.T) {
+	n, steps := 10, 3
+	r := HeatEquation1D(n, steps)
+	g := r.Graph
+	if err := g.Validate(cdag.ValidateRBW); err != nil {
+		t.Fatalf("invalid CDAG: %v", err)
+	}
+	if g.NumVertices() != n*(3*steps+1) {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), n*(3*steps+1))
+	}
+	if g.NumInputs() != n || g.NumOutputs() != n {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	// The Thomas algorithm is sequential: the critical path spans both the
+	// forward and the backward chain of every step, so it grows like 2nT.
+	if depth := g.CriticalPathLength(); depth < 2*n*steps {
+		t.Fatalf("critical path %d, want >= %d", depth, 2*n*steps)
+	}
+	// The last grid point of the final step depends on every input (global
+	// coupling of the implicit solve).
+	anc := graphalg.Ancestors(g, r.U[steps][0])
+	inputs := 0
+	for _, v := range anc.Elements() {
+		if g.IsInput(v) {
+			inputs++
+		}
+	}
+	if inputs != n {
+		t.Fatalf("output depends on %d inputs, want %d", inputs, n)
+	}
+	// Structure handles are consistent.
+	if len(r.RHS) != steps || len(r.Forward) != steps || len(r.U) != steps+1 {
+		t.Fatalf("handles wrong")
+	}
+	// Interior RHS vertices have 3 predecessors; boundary ones have 2.
+	if g.InDegree(r.RHS[0][n/2]) != 3 || g.InDegree(r.RHS[0][0]) != 2 {
+		t.Fatalf("RHS in-degrees wrong")
+	}
+}
+
+func TestHeatEquation1DPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"small n":    func() { HeatEquation1D(1, 3) },
+		"zero steps": func() { HeatEquation1D(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpMVFromLaplacian(t *testing.T) {
+	grid := linalg.NewGrid(2, 4)
+	lap := grid.Laplacian()
+	rowCols := make([][]int, lap.Rows)
+	nnz := 0
+	for i := 0; i < lap.Rows; i++ {
+		cols, _ := lap.Row(i)
+		rowCols[i] = cols
+		nnz += len(cols)
+	}
+	r := SpMV(lap.Cols, rowCols)
+	g := r.Graph
+	if err := g.Validate(cdag.ValidateRBW); err != nil {
+		t.Fatalf("invalid CDAG: %v", err)
+	}
+	if g.NumInputs() != 16 || g.NumOutputs() != 16 {
+		t.Fatalf("tags wrong: %v", g)
+	}
+	// One product vertex per non-zero plus (row nnz − 1) accumulate vertices.
+	want := 16 + nnz + (nnz - 16)
+	if g.NumVertices() != want {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), want)
+	}
+	// Every output is reachable from the inputs of its stencil neighborhood.
+	anc := graphalg.Ancestors(g, r.Y[5])
+	if !anc.Contains(r.X[5]) {
+		t.Fatalf("y[5] does not depend on x[5]")
+	}
+}
+
+func TestSpMVEdgeCases(t *testing.T) {
+	// An empty row yields a constant output with no predecessors.
+	r := SpMV(3, [][]int{{0, 1}, {}, {2}})
+	g := r.Graph
+	if g.InDegree(r.Y[1]) != 0 {
+		t.Fatalf("empty row output should have no predecessors")
+	}
+	if g.NumOutputs() != 3 {
+		t.Fatalf("outputs = %d", g.NumOutputs())
+	}
+	// Errors.
+	for name, f := range map[string]func(){
+		"zero cols": func() { SpMV(0, [][]int{{0}}) },
+		"col range": func() { SpMV(2, [][]int{{5}}) },
+		"col neg":   func() { SpMV(2, [][]int{{-1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,250 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/linalg"
+)
+
+// CGResult bundles the Conjugate Gradient CDAG (Figure 3) with handles to the
+// vertices the min-cut wavefront analysis of Theorem 8 refers to.
+type CGResult struct {
+	Graph      *cdag.Graph
+	Grid       linalg.Grid
+	Iterations int
+	// AlphaVertex[t] is the vertex of the scalar a = ⟨r,r⟩/⟨p,v⟩ of outer
+	// iteration t (the vertex υ_x of Theorem 8).
+	AlphaVertex []cdag.VertexID
+	// GammaVertex[t] is the vertex of the scalar g = ⟨r_new,r_new⟩/⟨r,r⟩ of
+	// outer iteration t (the vertex υ_y of Theorem 8).
+	GammaVertex []cdag.VertexID
+	// IterationVertices[t] is the set of vertices created by outer iteration t
+	// (used by the per-iteration decomposition of the lower-bound proof).
+	IterationVertices []*cdag.VertexSet
+}
+
+// CG returns the CDAG of T iterations of the Conjugate Gradient method
+// (Figure 3 of the paper) applied to the (2d+1)-point Laplacian of a
+// d-dimensional grid with n points per dimension.  The state vectors x, r, p
+// at iteration 0 are the inputs; the final x is the output.
+//
+// Scalar reductions (the dot products) are realized as balanced binary trees,
+// and every vector update is an explicit per-element vertex, so |V| grows as
+// Θ(n^d · T), matching the 20·n³·T operation count the paper uses for d = 3.
+func CG(dim, n, iterations int) *CGResult {
+	if iterations < 1 {
+		panic("gen: CG needs iterations >= 1")
+	}
+	grid := linalg.NewGrid(dim, n)
+	np := grid.Points()
+	g := cdag.NewGraph(fmt.Sprintf("cg-%dd-%d-T%d", dim, n, iterations), 0)
+	res := &CGResult{Graph: g, Grid: grid, Iterations: iterations}
+
+	x := make([]cdag.VertexID, np)
+	r := make([]cdag.VertexID, np)
+	p := make([]cdag.VertexID, np)
+	for i := 0; i < np; i++ {
+		x[i] = g.AddInput(fmt.Sprintf("x0[%d]", i))
+		r[i] = g.AddInput(fmt.Sprintf("r0[%d]", i))
+		p[i] = g.AddInput(fmt.Sprintf("p0[%d]", i))
+	}
+
+	for t := 0; t < iterations; t++ {
+		iterStart := cdag.VertexID(g.NumVertices())
+
+		// v ← A·p (sparse matrix-vector product over the grid stencil).
+		v := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			v[i] = g.AddVertex(fmt.Sprintf("v%d[%d]", t, i))
+			g.AddEdge(p[i], v[i])
+			for _, jn := range grid.Neighbors(i) {
+				g.AddEdge(p[jn], v[i])
+			}
+		}
+		// rr ← ⟨r, r⟩ and pv ← ⟨p, v⟩.
+		rr := reduceTree(g, fmt.Sprintf("rr%d", t), squareTerms(g, t, "r2", r))
+		pv := reduceTree(g, fmt.Sprintf("pv%d", t), pairTerms(g, t, "pv", p, v))
+		// a ← rr / pv.
+		alpha := g.AddVertex(fmt.Sprintf("alpha%d", t))
+		g.AddEdge(rr, alpha)
+		g.AddEdge(pv, alpha)
+		res.AlphaVertex = append(res.AlphaVertex, alpha)
+		// x ← x + a·p  and  r_new ← r − a·v.
+		xNew := make([]cdag.VertexID, np)
+		rNew := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			xNew[i] = g.AddVertex(fmt.Sprintf("x%d[%d]", t+1, i))
+			g.AddEdge(x[i], xNew[i])
+			g.AddEdge(alpha, xNew[i])
+			g.AddEdge(p[i], xNew[i])
+			rNew[i] = g.AddVertex(fmt.Sprintf("r%d[%d]", t+1, i))
+			g.AddEdge(r[i], rNew[i])
+			g.AddEdge(alpha, rNew[i])
+			g.AddEdge(v[i], rNew[i])
+		}
+		// g ← ⟨r_new, r_new⟩ / ⟨r, r⟩.
+		rnrn := reduceTree(g, fmt.Sprintf("rnrn%d", t), squareTerms(g, t, "rn2", rNew))
+		gamma := g.AddVertex(fmt.Sprintf("gamma%d", t))
+		g.AddEdge(rnrn, gamma)
+		g.AddEdge(rr, gamma)
+		res.GammaVertex = append(res.GammaVertex, gamma)
+		// p ← r_new + g·p.
+		pNew := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			pNew[i] = g.AddVertex(fmt.Sprintf("p%d[%d]", t+1, i))
+			g.AddEdge(rNew[i], pNew[i])
+			g.AddEdge(gamma, pNew[i])
+			g.AddEdge(p[i], pNew[i])
+		}
+		x, r, p = xNew, rNew, pNew
+
+		iterSet := cdag.NewVertexSet(g.NumVertices())
+		for v := iterStart; v < cdag.VertexID(g.NumVertices()); v++ {
+			iterSet.Add(v)
+		}
+		res.IterationVertices = append(res.IterationVertices, iterSet)
+	}
+	for _, xi := range x {
+		g.TagOutput(xi)
+	}
+	return res
+}
+
+// squareTerms creates the element-wise product vertices r[i]·r[i] feeding a
+// self inner product.
+func squareTerms(g *cdag.Graph, t int, tag string, r []cdag.VertexID) []cdag.VertexID {
+	terms := make([]cdag.VertexID, len(r))
+	for i := range r {
+		terms[i] = g.AddVertex(fmt.Sprintf("%s%d[%d]", tag, t, i))
+		g.AddEdge(r[i], terms[i])
+	}
+	return terms
+}
+
+// pairTerms creates the element-wise product vertices a[i]·b[i] feeding an
+// inner product of two distinct vectors.
+func pairTerms(g *cdag.Graph, t int, tag string, a, b []cdag.VertexID) []cdag.VertexID {
+	terms := make([]cdag.VertexID, len(a))
+	for i := range a {
+		terms[i] = g.AddVertex(fmt.Sprintf("%s%d[%d]", tag, t, i))
+		g.AddEdge(a[i], terms[i])
+		g.AddEdge(b[i], terms[i])
+	}
+	return terms
+}
+
+// reduceTree reduces the term vertices with a balanced binary adder tree and
+// returns the root vertex.
+func reduceTree(g *cdag.Graph, tag string, terms []cdag.VertexID) cdag.VertexID {
+	level := terms
+	round := 0
+	for len(level) > 1 {
+		var next []cdag.VertexID
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			v := g.AddVertex(fmt.Sprintf("%s.red%d.%d", tag, round, i/2))
+			g.AddEdge(level[i], v)
+			g.AddEdge(level[i+1], v)
+			next = append(next, v)
+		}
+		level = next
+		round++
+	}
+	return level[0]
+}
+
+// GMRESResult bundles the GMRES CDAG (Figure 4) with the per-iteration
+// handles used by Theorem 9's wavefront analysis.
+type GMRESResult struct {
+	Graph      *cdag.Graph
+	Grid       linalg.Grid
+	Iterations int
+	// LastDotVertex[i] is the vertex of h_{i,i} = ⟨w, v_i⟩ at outer iteration
+	// i (the vertex υ_x of Theorem 9).
+	LastDotVertex []cdag.VertexID
+	// NormVertex[i] is the vertex of h_{i+1,i} = ‖v'_{i+1}‖ (υ_y of Thm 9).
+	NormVertex []cdag.VertexID
+	// IterationVertices[i] is the set of vertices created by outer iteration i.
+	IterationVertices []*cdag.VertexSet
+}
+
+// GMRES returns the CDAG of m outer iterations of GMRES with modified
+// Gram–Schmidt orthogonalization (Figure 4) on the (2d+1)-point Laplacian of
+// an n^d grid.  The initial basis vector v₀ is the input; the Krylov basis
+// update of the final iteration is the output.  Iteration i performs one
+// SpMV, i+1 inner products and i AXPY updates, so the total vertex count
+// grows as Θ(n^d·m²) for the orthogonalization plus Θ(n^d·m) for the SpMVs,
+// matching the 20·n³·m + n³·m² operation count of Section 5.3.3.
+func GMRES(dim, n, iterations int) *GMRESResult {
+	if iterations < 1 {
+		panic("gen: GMRES needs iterations >= 1")
+	}
+	grid := linalg.NewGrid(dim, n)
+	np := grid.Points()
+	g := cdag.NewGraph(fmt.Sprintf("gmres-%dd-%d-m%d", dim, n, iterations), 0)
+	res := &GMRESResult{Graph: g, Grid: grid, Iterations: iterations}
+
+	v0 := make([]cdag.VertexID, np)
+	for i := 0; i < np; i++ {
+		v0[i] = g.AddInput(fmt.Sprintf("v0[%d]", i))
+	}
+	basis := [][]cdag.VertexID{v0}
+
+	for it := 0; it < iterations; it++ {
+		iterStart := cdag.VertexID(g.NumVertices())
+		vi := basis[len(basis)-1]
+
+		// w ← A·v_i.
+		w := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			w[i] = g.AddVertex(fmt.Sprintf("w%d[%d]", it, i))
+			g.AddEdge(vi[i], w[i])
+			for _, jn := range grid.Neighbors(i) {
+				g.AddEdge(vi[jn], w[i])
+			}
+		}
+		// Modified Gram–Schmidt: for j = 0..it, h_{j,it} = ⟨w, v_j⟩ then
+		// w ← w − h_{j,it}·v_j (we keep the mathematically equivalent update
+		// ordering of Figure 4: all dots first, then the combined AXPYs).
+		hs := make([]cdag.VertexID, 0, it+1)
+		for j := 0; j <= it && j < len(basis); j++ {
+			h := reduceTree(g, fmt.Sprintf("h%d_%d", j, it), pairTerms(g, it*1000+j, "hw", w, basis[j]))
+			hs = append(hs, h)
+		}
+		res.LastDotVertex = append(res.LastDotVertex, hs[len(hs)-1])
+		// v' ← w − Σ_j h_{j,it}·v_j.
+		vprime := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			vprime[i] = g.AddVertex(fmt.Sprintf("vp%d[%d]", it, i))
+			g.AddEdge(w[i], vprime[i])
+			for j, h := range hs {
+				g.AddEdge(h, vprime[i])
+				g.AddEdge(basis[j][i], vprime[i])
+			}
+		}
+		// h_{it+1,it} ← ‖v'‖₂ and v_{it+1} ← v'/h.
+		norm := reduceTree(g, fmt.Sprintf("norm%d", it), squareTerms(g, it, "vp2", vprime))
+		res.NormVertex = append(res.NormVertex, norm)
+		vnext := make([]cdag.VertexID, np)
+		for i := 0; i < np; i++ {
+			vnext[i] = g.AddVertex(fmt.Sprintf("v%d[%d]", it+1, i))
+			g.AddEdge(vprime[i], vnext[i])
+			g.AddEdge(norm, vnext[i])
+		}
+		basis = append(basis, vnext)
+
+		iterSet := cdag.NewVertexSet(g.NumVertices())
+		for v := iterStart; v < cdag.VertexID(g.NumVertices()); v++ {
+			iterSet.Add(v)
+		}
+		res.IterationVertices = append(res.IterationVertices, iterSet)
+	}
+	for _, vi := range basis[len(basis)-1] {
+		g.TagOutput(vi)
+	}
+	return res
+}

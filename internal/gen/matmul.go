@@ -1,0 +1,286 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+)
+
+// MatMulResult bundles the matrix-multiplication CDAG with handles to its
+// structured vertex groups, so analyses can refer to "the A inputs" or "the
+// C outputs" without re-deriving them from labels.
+type MatMulResult struct {
+	Graph *cdag.Graph
+	N     int
+	// A[i][k], B[k][j] are the input vertices.
+	A, B [][]cdag.VertexID
+	// C[i][j] is the final accumulation vertex of each output element.
+	C [][]cdag.VertexID
+	// Mul[i][j][k] is the multiply vertex A[i][k]·B[k][j]; Add[i][j][k] is the
+	// accumulation vertex that folds Mul[i][j][k] into the running sum
+	// (Add[i][j][0] is InvalidVertex because the first product needs no add).
+	Mul, Add [][][]cdag.VertexID
+}
+
+// MatMul returns the CDAG of the classical O(n³) matrix multiplication
+// C = A·B for n×n matrices: n² multiply vertices per output element, combined
+// by a length-n accumulation chain.  Inputs are the 2n² matrix elements and
+// outputs the n² final accumulations.
+//
+// The CDAG has n³ multiply vertices and n²(n−1) add vertices; its sequential
+// I/O lower bound is n³/(2√(2S)) (Hong & Kung; Section 3 of the paper).
+func MatMul(n int) *MatMulResult {
+	if n < 1 {
+		panic("gen: MatMul needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("matmul-%d", n), 2*n*n+2*n*n*n)
+	res := &MatMulResult{Graph: g, N: n}
+	res.A = grid2(n, func(i, k int) cdag.VertexID { return g.AddInput(fmt.Sprintf("A[%d,%d]", i, k)) })
+	res.B = grid2(n, func(k, j int) cdag.VertexID { return g.AddInput(fmt.Sprintf("B[%d,%d]", k, j)) })
+	res.C = make([][]cdag.VertexID, n)
+	res.Mul = make([][][]cdag.VertexID, n)
+	res.Add = make([][][]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		res.C[i] = make([]cdag.VertexID, n)
+		res.Mul[i] = make([][]cdag.VertexID, n)
+		res.Add[i] = make([][]cdag.VertexID, n)
+		for j := 0; j < n; j++ {
+			res.Mul[i][j] = make([]cdag.VertexID, n)
+			res.Add[i][j] = make([]cdag.VertexID, n)
+			var acc cdag.VertexID = cdag.InvalidVertex
+			for k := 0; k < n; k++ {
+				m := g.AddVertex(fmt.Sprintf("mul[%d,%d,%d]", i, j, k))
+				g.AddEdge(res.A[i][k], m)
+				g.AddEdge(res.B[k][j], m)
+				res.Mul[i][j][k] = m
+				res.Add[i][j][k] = cdag.InvalidVertex
+				if acc == cdag.InvalidVertex {
+					acc = m
+					continue
+				}
+				add := g.AddVertex(fmt.Sprintf("add[%d,%d,%d]", i, j, k))
+				g.AddEdge(acc, add)
+				g.AddEdge(m, add)
+				res.Add[i][j][k] = add
+				acc = add
+			}
+			g.TagOutput(acc)
+			res.C[i][j] = acc
+		}
+	}
+	return res
+}
+
+func grid2(n int, mk func(i, j int) cdag.VertexID) [][]cdag.VertexID {
+	out := make([][]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]cdag.VertexID, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = mk(i, j)
+		}
+	}
+	return out
+}
+
+// CompositeResult bundles the Section-3 composite CDAG with handles to its
+// vertex groups, so the recomputation strategy of Section 3 can be replayed
+// move by move on it.
+type CompositeResult struct {
+	Graph *cdag.Graph
+	N     int
+	// P, Q, R, S are the input vector vertices.
+	P, Q, R, S []cdag.VertexID
+	// A[i][k] and B[k][j] are the rank-1 product vertices.
+	A, B [][]cdag.VertexID
+	// Mul[i][j][k] and AddC[i][j][k] form the accumulation chain of C[i][j]
+	// (AddC[i][j][0] is InvalidVertex); CAcc[i][j] is the chain's last vertex.
+	Mul, AddC [][][]cdag.VertexID
+	CAcc      [][]cdag.VertexID
+	// AddS[i][j] folds C[i][j] into the running global sum
+	// (AddS[0][0] is InvalidVertex); Sum is the final output vertex.
+	AddS [][]cdag.VertexID
+	Sum  cdag.VertexID
+}
+
+// Composite returns the CDAG of the Section-3 composite example:
+//
+//	A = p·qᵀ;  B = r·sᵀ;  C = A·B;  sum = Σᵢⱼ Cᵢⱼ
+//
+// for vectors p, q, r, s of length n.  Only the four vectors are inputs and
+// only the final scalar is an output; all intermediate matrices are untagged,
+// which is exactly what makes the composite's I/O complexity (≈ 4n+1 with
+// Θ(n) words of fast memory, using recomputation) lower than the matmul step
+// it contains.
+func Composite(n int) *CompositeResult {
+	if n < 1 {
+		panic("gen: Composite needs n >= 1")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("composite-%d", n), 4*n+2*n*n+2*n*n*n+n*n)
+	res := &CompositeResult{Graph: g, N: n}
+	res.P = make([]cdag.VertexID, n)
+	res.Q = make([]cdag.VertexID, n)
+	res.R = make([]cdag.VertexID, n)
+	res.S = make([]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		res.P[i] = g.AddInput(fmt.Sprintf("p%d", i))
+		res.Q[i] = g.AddInput(fmt.Sprintf("q%d", i))
+		res.R[i] = g.AddInput(fmt.Sprintf("r%d", i))
+		res.S[i] = g.AddInput(fmt.Sprintf("s%d", i))
+	}
+	// A[i][k] = p[i]*q[k], B[k][j] = r[k]*s[j].
+	res.A = grid2(n, func(i, k int) cdag.VertexID {
+		v := g.AddVertex(fmt.Sprintf("A[%d,%d]", i, k))
+		g.AddEdge(res.P[i], v)
+		g.AddEdge(res.Q[k], v)
+		return v
+	})
+	res.B = grid2(n, func(k, j int) cdag.VertexID {
+		v := g.AddVertex(fmt.Sprintf("B[%d,%d]", k, j))
+		g.AddEdge(res.R[k], v)
+		g.AddEdge(res.S[j], v)
+		return v
+	})
+	// C[i][j] = Σ_k A[i][k]·B[k][j], then sum over all C entries.
+	res.Mul = make([][][]cdag.VertexID, n)
+	res.AddC = make([][][]cdag.VertexID, n)
+	res.CAcc = make([][]cdag.VertexID, n)
+	res.AddS = make([][]cdag.VertexID, n)
+	var sumAcc cdag.VertexID = cdag.InvalidVertex
+	for i := 0; i < n; i++ {
+		res.Mul[i] = make([][]cdag.VertexID, n)
+		res.AddC[i] = make([][]cdag.VertexID, n)
+		res.CAcc[i] = make([]cdag.VertexID, n)
+		res.AddS[i] = make([]cdag.VertexID, n)
+		for j := 0; j < n; j++ {
+			res.Mul[i][j] = make([]cdag.VertexID, n)
+			res.AddC[i][j] = make([]cdag.VertexID, n)
+			var acc cdag.VertexID = cdag.InvalidVertex
+			for k := 0; k < n; k++ {
+				m := g.AddVertex(fmt.Sprintf("mul[%d,%d,%d]", i, j, k))
+				g.AddEdge(res.A[i][k], m)
+				g.AddEdge(res.B[k][j], m)
+				res.Mul[i][j][k] = m
+				res.AddC[i][j][k] = cdag.InvalidVertex
+				if acc == cdag.InvalidVertex {
+					acc = m
+					continue
+				}
+				add := g.AddVertex(fmt.Sprintf("addC[%d,%d,%d]", i, j, k))
+				g.AddEdge(acc, add)
+				g.AddEdge(m, add)
+				res.AddC[i][j][k] = add
+				acc = add
+			}
+			res.CAcc[i][j] = acc
+			// Accumulate C[i][j] into the running global sum.
+			res.AddS[i][j] = cdag.InvalidVertex
+			if sumAcc == cdag.InvalidVertex {
+				sumAcc = acc
+				continue
+			}
+			add := g.AddVertex(fmt.Sprintf("addS[%d,%d]", i, j))
+			g.AddEdge(sumAcc, add)
+			g.AddEdge(acc, add)
+			res.AddS[i][j] = add
+			sumAcc = add
+		}
+	}
+	g.TagOutput(sumAcc)
+	res.Sum = sumAcc
+	return res
+}
+
+// FFT returns the CDAG of an n-point radix-2 FFT butterfly network, n = 2^k:
+// log₂ n stages of n vertices each; vertex (s, i) depends on (s−1, i) and
+// (s−1, i xor 2^{s−1}).  Stage 0 holds the n inputs and the last stage the n
+// outputs.  Its sequential I/O lower bound is Θ(n log n / log S).
+func FFT(n int) *cdag.Graph {
+	if n < 2 || n&(n-1) != 0 {
+		panic("gen: FFT needs n to be a power of two >= 2")
+	}
+	stages := 0
+	for s := n; s > 1; s >>= 1 {
+		stages++
+	}
+	g := cdag.NewGraph(fmt.Sprintf("fft-%d", n), n*(stages+1))
+	prev := make([]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		prev[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for s := 1; s <= stages; s++ {
+		cur := make([]cdag.VertexID, n)
+		span := 1 << (s - 1)
+		for i := 0; i < n; i++ {
+			cur[i] = g.AddVertex(fmt.Sprintf("s%d.%d", s, i))
+			g.AddEdge(prev[i], cur[i])
+			g.AddEdge(prev[i^span], cur[i])
+		}
+		prev = cur
+	}
+	for _, v := range prev {
+		g.TagOutput(v)
+	}
+	return g
+}
+
+// BinomialTree returns the CDAG of the binomial computation graph B_k used by
+// Ranjan, Savage and Zubair: B_0 is a single vertex; B_k is two copies of
+// B_{k−1} with an edge from the root of the first to every vertex of the
+// second copy's root chain... Concretely we use the standard recursive
+// doubling structure with 2^k leaves combining pairwise with carries, which
+// has the binomial dependence pattern.  Sources are inputs, sinks outputs.
+func BinomialTree(k int) *cdag.Graph {
+	if k < 0 || k > 20 {
+		panic("gen: BinomialTree needs 0 <= k <= 20")
+	}
+	n := 1 << k
+	g := cdag.NewGraph(fmt.Sprintf("binomial-%d", k), n*(k+1))
+	prev := make([]cdag.VertexID, n)
+	for i := range prev {
+		prev[i] = g.AddInput(fmt.Sprintf("leaf%d", i))
+	}
+	for s := 1; s <= k; s++ {
+		cur := make([]cdag.VertexID, n)
+		span := 1 << (s - 1)
+		for i := 0; i < n; i++ {
+			cur[i] = g.AddVertex(fmt.Sprintf("b%d.%d", s, i))
+			g.AddEdge(prev[i], cur[i])
+			// Combine with the partner block, binomial-style: only the upper
+			// half of each 2^s block receives the carry from the lower half.
+			if i&span != 0 {
+				g.AddEdge(prev[i^span], cur[i])
+			}
+		}
+		prev = cur
+	}
+	for _, v := range prev {
+		g.TagOutput(v)
+	}
+	return g
+}
+
+// Pyramid returns the CDAG of a 2-D r-pyramid of height h: row 0 has h+1
+// input vertices and each row above combines adjacent pairs until a single
+// apex output remains.  Pyramids are the canonical example where the min-cut
+// wavefront technique beats 2S-partitioning.
+func Pyramid(h int) *cdag.Graph {
+	if h < 0 {
+		panic("gen: Pyramid needs h >= 0")
+	}
+	g := cdag.NewGraph(fmt.Sprintf("pyramid-%d", h), (h+1)*(h+2)/2)
+	prev := make([]cdag.VertexID, h+1)
+	for i := range prev {
+		prev[i] = g.AddInput(fmt.Sprintf("base%d", i))
+	}
+	for row := 1; row <= h; row++ {
+		cur := make([]cdag.VertexID, h+1-row)
+		for i := range cur {
+			cur[i] = g.AddVertex(fmt.Sprintf("p%d.%d", row, i))
+			g.AddEdge(prev[i], cur[i])
+			g.AddEdge(prev[i+1], cur[i])
+		}
+		prev = cur
+	}
+	g.TagOutput(prev[0])
+	return g
+}

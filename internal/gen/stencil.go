@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/linalg"
+)
+
+// StencilKind selects the dependence pattern of a Jacobi-style stencil sweep.
+type StencilKind int
+
+const (
+	// StencilStar is the (2d+1)-point von Neumann stencil: each point depends
+	// on itself and its face neighbors (the 5-point stencil in 2-D).
+	StencilStar StencilKind = iota
+	// StencilBox is the 3^d-point Moore stencil: each point depends on the
+	// full radius-1 box around it (the 9-point stencil in 2-D analyzed in
+	// Theorem 10).
+	StencilBox
+)
+
+// String returns the conventional name of the stencil.
+func (k StencilKind) String() string {
+	switch k {
+	case StencilStar:
+		return "star"
+	case StencilBox:
+		return "box"
+	default:
+		return fmt.Sprintf("StencilKind(%d)", int(k))
+	}
+}
+
+// JacobiResult bundles the stencil CDAG with its time-slice vertex layers.
+type JacobiResult struct {
+	Graph *cdag.Graph
+	Grid  linalg.Grid
+	Steps int
+	Kind  StencilKind
+	// Layer[t][cell] is the vertex holding grid point cell at time t,
+	// 0 ≤ t ≤ Steps.  Layer[0] holds the inputs, Layer[Steps] the outputs.
+	Layer [][]cdag.VertexID
+}
+
+// Jacobi returns the CDAG of a d-dimensional Jacobi sweep on an n^d grid for
+// the given number of time steps: vertex (t, cell) depends on (t−1, cell') for
+// every cell' in the stencil neighborhood of cell.  Time-0 vertices are
+// inputs and time-Steps vertices are outputs (Section 5.4).
+func Jacobi(dim, n, steps int, kind StencilKind) *JacobiResult {
+	if steps < 1 {
+		panic("gen: Jacobi needs steps >= 1")
+	}
+	grid := linalg.NewGrid(dim, n)
+	np := grid.Points()
+	g := cdag.NewGraph(fmt.Sprintf("jacobi-%dd-%d-T%d-%s", dim, n, steps, kind), np*(steps+1))
+	res := &JacobiResult{Graph: g, Grid: grid, Steps: steps, Kind: kind,
+		Layer: make([][]cdag.VertexID, steps+1)}
+
+	res.Layer[0] = make([]cdag.VertexID, np)
+	for c := 0; c < np; c++ {
+		res.Layer[0][c] = g.AddInput(fmt.Sprintf("u0[%d]", c))
+	}
+	for t := 1; t <= steps; t++ {
+		res.Layer[t] = make([]cdag.VertexID, np)
+		for c := 0; c < np; c++ {
+			v := g.AddVertex(fmt.Sprintf("u%d[%d]", t, c))
+			res.Layer[t][c] = v
+			for _, p := range stencilNeighborhood(grid, c, kind) {
+				g.AddEdge(res.Layer[t-1][p], v)
+			}
+		}
+	}
+	for _, v := range res.Layer[steps] {
+		g.TagOutput(v)
+	}
+	return res
+}
+
+// stencilNeighborhood returns the dependence cells of cell c (including c
+// itself) for the chosen stencil kind, in a deterministic order.
+func stencilNeighborhood(grid linalg.Grid, c int, kind StencilKind) []int {
+	switch kind {
+	case StencilStar:
+		out := []int{c}
+		return append(out, grid.Neighbors(c)...)
+	case StencilBox:
+		coords := grid.Coords(c)
+		cells := []int{}
+		offsets := make([]int, grid.Dim)
+		for i := range offsets {
+			offsets[i] = -1
+		}
+		for {
+			ok := true
+			probe := make([]int, grid.Dim)
+			for d := 0; d < grid.Dim; d++ {
+				probe[d] = coords[d] + offsets[d]
+				if probe[d] < 0 || probe[d] >= grid.N {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cells = append(cells, grid.Index(probe))
+			}
+			// Advance the offset odometer over {-1,0,1}^d.
+			d := grid.Dim - 1
+			for d >= 0 {
+				offsets[d]++
+				if offsets[d] <= 1 {
+					break
+				}
+				offsets[d] = -1
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		return cells
+	default:
+		panic(fmt.Sprintf("gen: unknown stencil kind %d", int(kind)))
+	}
+}

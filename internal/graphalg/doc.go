@@ -1,0 +1,9 @@
+// Package graphalg provides the graph algorithms that underpin the
+// data-movement lower-bound machinery: reachability (ancestor/descendant
+// sets), maximum flow (Dinic), vertex min-cuts via vertex splitting,
+// minimum dominator sets, convex (S,T) cuts and vertex-disjoint path counts.
+//
+// All algorithms operate on *cdag.Graph values and treat them as read-only.
+// The flow network used for vertex cuts is built on the fly; it never mutates
+// the input CDAG.
+package graphalg

@@ -1,0 +1,115 @@
+package graphalg
+
+// flowNetwork is a unit-friendly max-flow network solved with Dinic's
+// algorithm.  Nodes are dense ints; edges carry integer capacities and are
+// stored with their residuals in a single arena.
+type flowNetwork struct {
+	head [][]int32 // head[u] = indices into edges of arcs leaving u
+	to   []int32
+	cap  []int64
+	n    int
+}
+
+const flowInf = int64(1) << 60
+
+func newFlowNetwork(n int) *flowNetwork {
+	return &flowNetwork{head: make([][]int32, n), n: n}
+}
+
+// addEdge adds a directed edge u→v with the given capacity and its reverse
+// residual edge with capacity 0.
+func (f *flowNetwork) addEdge(u, v int, capacity int64) {
+	f.head[u] = append(f.head[u], int32(len(f.to)))
+	f.to = append(f.to, int32(v))
+	f.cap = append(f.cap, capacity)
+	f.head[v] = append(f.head[v], int32(len(f.to)))
+	f.to = append(f.to, int32(u))
+	f.cap = append(f.cap, 0)
+}
+
+// maxFlow computes the maximum s→t flow with Dinic's algorithm.
+func (f *flowNetwork) maxFlow(s, t int) int64 {
+	if s == t {
+		return flowInf
+	}
+	var total int64
+	level := make([]int32, f.n)
+	iter := make([]int32, f.n)
+	queue := make([]int32, 0, f.n)
+	for {
+		// BFS to build the level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ei := range f.head[u] {
+				v := f.to[ei]
+				if f.cap[ei] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfs(s, t, flowInf, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (f *flowNetwork) dfs(u, t int, limit int64, level, iter []int32) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < int32(len(f.head[u])); iter[u]++ {
+		ei := f.head[u][iter[u]]
+		v := int(f.to[ei])
+		if f.cap[ei] <= 0 || level[v] != level[u]+1 {
+			continue
+		}
+		avail := limit
+		if f.cap[ei] < avail {
+			avail = f.cap[ei]
+		}
+		pushed := f.dfs(v, t, avail, level, iter)
+		if pushed > 0 {
+			f.cap[ei] -= pushed
+			f.cap[ei^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// minCutSourceSide returns, after maxFlow has been run, the set of nodes
+// reachable from s in the residual network.
+func (f *flowNetwork) minCutSourceSide(s int) []bool {
+	seen := make([]bool, f.n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range f.head[u] {
+			v := int(f.to[ei])
+			if f.cap[ei] > 0 && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import "fmt"
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zero Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Add accumulates x into element (i, j).
+func (m *Dense) Add(i, j int, x float64) { m.Data[i*m.Cols+j] += x }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// MulVec returns A·x as a new vector.
+func (m *Dense) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns the matrix product A·B.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				c.Add(i, j, a*b.At(k, j))
+			}
+		}
+	}
+	return c
+}
+
+// OuterProduct returns the rank-1 matrix u·vᵀ.
+func OuterProduct(u, v Vector) *Dense {
+	m := NewDense(len(u), len(v))
+	for i, ui := range u {
+		for j, vj := range v {
+			m.Set(i, j, ui*vj)
+		}
+	}
+	return m
+}
+
+// SumElements returns the sum of all elements of m.
+func (m *Dense) SumElements() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x
+	}
+	return s
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

@@ -1,0 +1,8 @@
+// Package linalg provides the small dense/sparse linear-algebra substrate
+// used by the numerical solvers (CG, GMRES, Jacobi) whose CDAGs the paper
+// analyzes: vectors, dense matrices, CSR sparse matrices, tridiagonal
+// systems, and structured grid Laplacians for d-dimensional meshes.
+//
+// The implementations favour clarity and determinism over raw speed; they are
+// the workload generators of the reproduction, not a BLAS replacement.
+package linalg

@@ -1,0 +1,89 @@
+package machine
+
+import "fmt"
+
+// Words-per-byte conversion for the 8-byte double-precision words used
+// throughout the paper's analysis.
+const bytesPerWord = 8
+
+// MegaWords converts a capacity in MBytes to words.
+func MegaWords(mbytes float64) int64 { return int64(mbytes * 1e6 / bytesPerWord) }
+
+// GigaWords converts a capacity in GBytes to words.
+func GigaWords(gbytes float64) int64 { return int64(gbytes * 1e9 / bytesPerWord) }
+
+// IBMBGQ returns the IBM Blue Gene/Q configuration of Table 1: 2048 nodes,
+// 16 GB of memory and 32 MB of L2 cache per node, with a vertical balance of
+// 0.052 words/FLOP and a horizontal balance of 0.049 words/FLOP.
+//
+// Per node, BG/Q has 16 compute cores at 12.8 GFLOP/s each (204.8 GFLOP/s per
+// node); the balance overrides carry the exact values the paper tabulates.
+func IBMBGQ() Machine {
+	return Machine{
+		Name:         "IBM BG/Q",
+		Nodes:        2048,
+		CoresPerNode: 16,
+		FlopsPerCore: 12.8e9,
+		Levels: []Level{
+			{Name: "L1", CountPerNode: 16, CapacityWords: MegaWords(0.016)},
+			{Name: "L2", CountPerNode: 1, CapacityWords: MegaWords(32)},
+		},
+		MainMemoryWords:           GigaWords(16),
+		VerticalBalanceOverride:   0.052,
+		HorizontalBalanceOverride: 0.049,
+	}
+}
+
+// CrayXT5 returns the Cray XT5 configuration of Table 1: 9408 nodes, 16 GB of
+// memory and 6 MB of L2/L3 cache per node, with a vertical balance of 0.0256
+// words/FLOP and a horizontal balance of 0.058 words/FLOP.
+func CrayXT5() Machine {
+	return Machine{
+		Name:         "Cray XT5",
+		Nodes:        9408,
+		CoresPerNode: 12,
+		FlopsPerCore: 10.4e9,
+		Levels: []Level{
+			{Name: "L1", CountPerNode: 12, CapacityWords: MegaWords(0.064)},
+			{Name: "L2/L3", CountPerNode: 1, CapacityWords: MegaWords(6)},
+		},
+		MainMemoryWords:           GigaWords(16),
+		VerticalBalanceOverride:   0.0256,
+		HorizontalBalanceOverride: 0.058,
+	}
+}
+
+// Table1 returns the machines of Table 1 in the order the paper lists them.
+func Table1() []Machine {
+	return []Machine{IBMBGQ(), CrayXT5()}
+}
+
+// Generic returns a parameterized machine useful for what-if analyses and
+// tests: nodes × coresPerNode cores at flopsPerCore FLOP/s, one shared cache
+// of cacheWords words per node backed by main memory, with the given
+// vertical (memory) and horizontal (network) bandwidths in words/s.
+func Generic(name string, nodes, coresPerNode int, flopsPerCore float64,
+	cacheWords, memWords int64, memBW, netBW float64) Machine {
+	return Machine{
+		Name:         name,
+		Nodes:        nodes,
+		CoresPerNode: coresPerNode,
+		FlopsPerCore: flopsPerCore,
+		Levels: []Level{
+			{Name: "cache", CountPerNode: 1, CapacityWords: cacheWords, BandwidthWordsPerSec: memBW},
+		},
+		MainMemoryWords:             memWords,
+		MainMemoryBandwidth:         memBW,
+		NetworkBandwidthWordsPerSec: netBW,
+	}
+}
+
+// Lookup returns a catalog machine by (case-sensitive) name.
+func Lookup(name string) (Machine, error) {
+	for _, m := range Table1() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("machine: unknown machine %q (known: %q, %q)", name, IBMBGQ().Name, CrayXT5().Name)
+}

@@ -1,0 +1,174 @@
+package pebble
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"cdagio/internal/cdag"
+)
+
+// ErrTooLarge is returned by OptimalIO when the CDAG exceeds the size the
+// exact solver supports.
+var ErrTooLarge = errors.New("pebble: CDAG too large for exact optimal search")
+
+// ErrSearchBudget is returned when the state-space search exceeds the
+// configured budget before proving optimality.
+var ErrSearchBudget = errors.New("pebble: optimal search exceeded its state budget")
+
+// OptimalOptions configures the exact search.
+type OptimalOptions struct {
+	// MaxStates bounds the number of distinct states settled by the search.
+	// Zero selects a default of 2,000,000.
+	MaxStates int
+}
+
+// gameState is a compact encoding of a pebble-game configuration for graphs
+// with at most 64 vertices.
+type gameState struct {
+	red   uint64
+	white uint64
+	blue  uint64
+}
+
+type stateItem struct {
+	state gameState
+	cost  int
+	index int
+}
+
+type stateQueue []*stateItem
+
+func (q stateQueue) Len() int           { return len(q) }
+func (q stateQueue) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q stateQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *stateQueue) Push(x interface{}) {
+	it := x.(*stateItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *stateQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// OptimalIO computes the exact minimum number of I/O operations of a complete
+// pebble game on g with s red pebbles, by Dijkstra search over the game's
+// state space (loads and stores cost 1, computes and deletes cost 0).
+//
+// The search is exponential in general; it is intended for the small CDAGs
+// (≲ 20 vertices) used to validate the lower-bound machinery.  Graphs with
+// more than 64 vertices are rejected with ErrTooLarge, and searches that
+// exceed opts.MaxStates settled states fail with ErrSearchBudget.
+func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int, error) {
+	n := g.NumVertices()
+	if n > 64 {
+		return 0, fmt.Errorf("%w: %d vertices (max 64)", ErrTooLarge, n)
+	}
+	if s < 1 {
+		return 0, errors.New("pebble: need at least one red pebble")
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+
+	var inputMask, outputMask, allMask uint64
+	preds := make([]uint64, n)
+	hasSucc := make([]bool, n)
+	for v := 0; v < n; v++ {
+		id := cdag.VertexID(v)
+		allMask |= 1 << uint(v)
+		if g.IsInput(id) {
+			inputMask |= 1 << uint(v)
+		}
+		if g.IsOutput(id) {
+			outputMask |= 1 << uint(v)
+		}
+		for _, p := range g.Predecessors(id) {
+			preds[v] |= 1 << uint(p)
+		}
+		hasSucc[v] = g.OutDegree(id) > 0
+	}
+
+	isGoal := func(st gameState) bool {
+		if st.blue&outputMask != outputMask {
+			return false
+		}
+		if variant == RBW {
+			return st.white == allMask
+		}
+		// Hong-Kung: every non-input vertex must have fired at least once.
+		return st.white&^inputMask == allMask&^inputMask
+	}
+
+	start := gameState{blue: inputMask}
+	dist := map[gameState]int{start: 0}
+	pq := &stateQueue{}
+	heap.Push(pq, &stateItem{state: start, cost: 0})
+	settled := 0
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(*stateItem)
+		st, cost := item.state, item.cost
+		if d, ok := dist[st]; ok && cost > d {
+			continue
+		}
+		if isGoal(st) {
+			return cost, nil
+		}
+		settled++
+		if settled > maxStates {
+			return 0, fmt.Errorf("%w: settled %d states", ErrSearchBudget, settled)
+		}
+
+		relax := func(next gameState, c int) {
+			if d, ok := dist[next]; !ok || c < d {
+				dist[next] = c
+				heap.Push(pq, &stateItem{state: next, cost: c})
+			}
+		}
+
+		redCount := bits.OnesCount64(st.red)
+		for v := 0; v < n; v++ {
+			bit := uint64(1) << uint(v)
+			hasRed := st.red&bit != 0
+			// Load.
+			if !hasRed && st.blue&bit != 0 && redCount < s {
+				next := st
+				next.red |= bit
+				if variant == RBW {
+					next.white |= bit
+				}
+				relax(next, cost+1)
+			}
+			// Store (skip when already blue: it would never help).
+			if hasRed && st.blue&bit == 0 {
+				next := st
+				next.blue |= bit
+				relax(next, cost+1)
+			}
+			// Compute.
+			if !hasRed && inputMask&bit == 0 && redCount < s &&
+				st.red&preds[v] == preds[v] &&
+				!(variant == RBW && st.white&bit != 0) {
+				next := st
+				next.red |= bit
+				next.white |= bit
+				relax(next, cost)
+			}
+			// Delete.
+			if hasRed {
+				next := st
+				next.red &^= bit
+				relax(next, cost)
+			}
+		}
+	}
+	return 0, errors.New("pebble: no complete game exists (is S large enough for every in-degree?)")
+}

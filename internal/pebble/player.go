@@ -1,0 +1,280 @@
+package pebble
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+)
+
+// EvictionPolicy selects how the schedule player chooses a red pebble to
+// free when the fast memory is full.
+type EvictionPolicy int
+
+const (
+	// Belady evicts the vertex whose next use lies farthest in the future
+	// (the offline-optimal replacement policy for a fixed schedule).
+	Belady EvictionPolicy = iota
+	// LRU evicts the least recently used vertex.
+	LRU
+)
+
+// String returns the policy name.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case Belady:
+		return "belady"
+	case LRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// ScheduleError reports a schedule the player cannot execute.
+type ScheduleError struct{ Reason string }
+
+func (e *ScheduleError) Error() string { return "pebble: invalid schedule: " + e.Reason }
+
+// PlaySchedule executes the given vertex schedule on g as a complete pebble
+// game with s red pebbles and returns the resulting I/O counts.  The schedule
+// must list every non-input vertex exactly once, in an order compatible with
+// the CDAG's edges (a topological order of the non-input vertices).  Input
+// vertices are loaded on demand.
+//
+// The returned I/O count is the cost of a legal game, hence an upper bound on
+// the I/O complexity of g for the given S.  With the Belady policy the count
+// is optimal for the fixed schedule up to the store-on-evict heuristic.
+//
+// PlaySchedule fails if s is smaller than the largest in-degree plus one
+// (a vertex and all its predecessors must hold red pebbles simultaneously).
+func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
+	policy EvictionPolicy, record bool) (Result, error) {
+
+	n := g.NumVertices()
+	// Validate the schedule: every non-input exactly once, dependencies first.
+	position := make([]int, n)
+	for i := range position {
+		position[i] = -1
+	}
+	for i, v := range order {
+		if !g.ValidVertex(v) {
+			return Result{}, &ScheduleError{Reason: fmt.Sprintf("vertex %d out of range", v)}
+		}
+		if g.IsInput(v) {
+			return Result{}, &ScheduleError{Reason: fmt.Sprintf("input vertex %d scheduled for compute", v)}
+		}
+		if position[v] >= 0 {
+			return Result{}, &ScheduleError{Reason: fmt.Sprintf("vertex %d scheduled twice", v)}
+		}
+		position[v] = i
+	}
+	scheduled := 0
+	for v := 0; v < n; v++ {
+		id := cdag.VertexID(v)
+		if g.IsInput(id) {
+			continue
+		}
+		if position[v] < 0 {
+			return Result{}, &ScheduleError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
+		}
+		scheduled++
+		for _, p := range g.Predecessors(id) {
+			if !g.IsInput(p) && position[p] > position[v] {
+				return Result{}, &ScheduleError{
+					Reason: fmt.Sprintf("vertex %d scheduled before its predecessor %d", v, p)}
+			}
+		}
+		if g.InDegree(id)+1 > s {
+			return Result{}, &ScheduleError{
+				Reason: fmt.Sprintf("S=%d too small: vertex %d has in-degree %d", s, v, g.InDegree(id))}
+		}
+	}
+	if scheduled != len(order) {
+		return Result{}, &ScheduleError{Reason: "schedule length does not match non-input vertex count"}
+	}
+
+	// uses[v] lists the schedule positions that consume v, in increasing order.
+	uses := make([][]int, n)
+	for i, v := range order {
+		for _, p := range g.Predecessors(v) {
+			uses[p] = append(uses[p], i)
+		}
+	}
+	usePtr := make([]int, n)
+	lastUse := make([]int, n)
+
+	game := NewGame(g, variant, s, record)
+	clock := 0
+
+	// nextUse returns the next schedule position that consumes v strictly
+	// after position i, or a sentinel when v is no longer needed.
+	const never = int(^uint(0) >> 1)
+	nextUse := func(v cdag.VertexID, i int) int {
+		for usePtr[v] < len(uses[v]) && uses[v][usePtr[v]] <= i {
+			usePtr[v]++
+		}
+		if usePtr[v] < len(uses[v]) {
+			return uses[v][usePtr[v]]
+		}
+		return never
+	}
+	needsPreserve := func(v cdag.VertexID, i int) bool {
+		if nextUse(v, i) != never {
+			return true
+		}
+		return g.IsOutput(v) && !game.HasBlue(v)
+	}
+
+	// evictOne frees a red pebble, avoiding pinned vertices.  It stores the
+	// victim first when its value would otherwise be lost.
+	evictOne := func(i int, pinned map[cdag.VertexID]bool) error {
+		var victim cdag.VertexID = cdag.InvalidVertex
+		victimScore := -1
+		victimFree := false
+		for _, v := range game.red.Elements() {
+			if pinned[v] {
+				continue
+			}
+			free := !needsPreserve(v, i)
+			var score int
+			if free {
+				score = never
+			} else {
+				switch policy {
+				case LRU:
+					score = clock - lastUse[v]
+				default: // Belady
+					score = nextUse(v, i)
+					if g.IsOutput(v) && !game.HasBlue(v) && score == never {
+						// Output needed only for the final store: cheapest to
+						// evict among preserved vertices.
+						score = never - 1
+					}
+				}
+			}
+			if free && !victimFree {
+				victim, victimScore, victimFree = v, score, true
+				continue
+			}
+			if free == victimFree && score > victimScore {
+				victim, victimScore = v, score
+			}
+		}
+		if victim == cdag.InvalidVertex {
+			return &ScheduleError{Reason: fmt.Sprintf("S=%d too small at schedule position %d: all red pebbles pinned", s, i)}
+		}
+		if !victimFree && !game.HasBlue(victim) {
+			if err := game.Apply(Move{Store, victim}); err != nil {
+				return err
+			}
+		}
+		return game.Apply(Move{Delete, victim})
+	}
+	ensureRoom := func(i int, pinned map[cdag.VertexID]bool) error {
+		for game.RedInUse() >= s {
+			if err := evictOne(i, pinned); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	moves := 0
+	for i, v := range order {
+		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
+		for _, p := range g.Predecessors(v) {
+			pinned[p] = true
+		}
+		// Bring all predecessors into fast memory.
+		for _, p := range g.Predecessors(v) {
+			if game.HasRed(p) {
+				lastUse[p] = clock
+				continue
+			}
+			if !game.HasBlue(p) {
+				return Result{}, &ScheduleError{
+					Reason: fmt.Sprintf("value of vertex %d lost before use by %d", p, v)}
+			}
+			if err := ensureRoom(i, pinned); err != nil {
+				return Result{}, err
+			}
+			if err := game.Apply(Move{Load, p}); err != nil {
+				return Result{}, err
+			}
+			lastUse[p] = clock
+			moves++
+		}
+		// Fire v.
+		if err := ensureRoom(i, pinned); err != nil {
+			return Result{}, err
+		}
+		if err := game.Apply(Move{Compute, v}); err != nil {
+			return Result{}, err
+		}
+		lastUse[v] = clock
+		moves++
+		clock++
+		// Drop values that are dead from here on (free, no I/O).
+		for _, p := range g.Predecessors(v) {
+			if game.HasRed(p) && !needsPreserve(p, i) {
+				if err := game.Apply(Move{Delete, p}); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if game.HasRed(v) && !needsPreserve(v, i) {
+			if err := game.Apply(Move{Delete, v}); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Store outputs that still live only in fast memory, and make sure every
+	// input was touched at least once (RBW completion requires white pebbles
+	// everywhere, including on inputs that no scheduled vertex consumed).
+	for _, v := range g.Outputs() {
+		if !game.HasBlue(v) {
+			if !game.HasRed(v) {
+				return Result{}, &ScheduleError{Reason: fmt.Sprintf("output %d lost before final store", v)}
+			}
+			if err := game.Apply(Move{Store, v}); err != nil {
+				return Result{}, err
+			}
+			moves++
+		}
+	}
+	if variant == RBW {
+		for _, v := range g.Inputs() {
+			if game.HasWhite(v) {
+				continue
+			}
+			pinned := map[cdag.VertexID]bool{}
+			if err := ensureRoom(len(order), pinned); err != nil {
+				return Result{}, err
+			}
+			if err := game.Apply(Move{Load, v}); err != nil {
+				return Result{}, err
+			}
+			moves++
+			if err := game.Apply(Move{Delete, v}); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if !game.IsComplete() {
+		return Result{}, &ScheduleError{Reason: "game incomplete after schedule: " + game.Incomplete()}
+	}
+	return game.result(moves), nil
+}
+
+// PlayTopological runs PlaySchedule on the default topological order of the
+// non-input vertices of g.
+func PlayTopological(g *cdag.Graph, variant Variant, s int, policy EvictionPolicy) (Result, error) {
+	order := make([]cdag.VertexID, 0, g.NumOperations())
+	for _, v := range g.MustTopoOrder() {
+		if !g.IsInput(v) {
+			order = append(order, v)
+		}
+	}
+	return PlaySchedule(g, variant, s, order, policy, false)
+}

@@ -1,0 +1,160 @@
+package prbw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes the data movement of a (partial or complete) P-RBW game.
+type Stats struct {
+	Topology Topology
+
+	// MoveUpsInto[l-1][u] counts R4 placements into unit u of level l: values
+	// brought toward the processors across the l/(l+1) boundary.
+	MoveUpsInto [][]int64
+	// MoveDownsInto[l-1][u] counts R5 placements into unit u of level l:
+	// values pushed away from the processors across the (l−1)/l boundary.
+	MoveDownsInto [][]int64
+	// InputsAt, OutputsAt and RemoteGetsAt are per-node counts of R1, R2 and
+	// R3 moves.
+	InputsAt     []int64
+	OutputsAt    []int64
+	RemoteGetsAt []int64
+	// ComputesBy is the per-processor count of R6 moves.
+	ComputesBy []int64
+}
+
+// Snapshot returns a copy of the game's counters.
+func (game *Game) Snapshot() *Stats {
+	s := &Stats{Topology: game.topo}
+	s.MoveUpsInto = copy2D(game.moveUpsInto)
+	s.MoveDownsInto = copy2D(game.moveDownsInto)
+	s.InputsAt = append([]int64(nil), game.inputsAt...)
+	s.OutputsAt = append([]int64(nil), game.outputsAt...)
+	s.RemoteGetsAt = append([]int64(nil), game.remoteGetsAt...)
+	s.ComputesBy = append([]int64(nil), game.computesBy...)
+	return s
+}
+
+func copy2D(in [][]int64) [][]int64 {
+	out := make([][]int64, len(in))
+	for i := range in {
+		out[i] = append([]int64(nil), in[i]...)
+	}
+	return out
+}
+
+// VerticalTraffic returns the total number of pebble placements crossing the
+// boundary between level l and level l+1 (1 ≤ l < L): R4 moves into level-l
+// units plus R5 moves into level-(l+1) units.  This is the quantity the
+// vertical lower bounds of Theorems 5 and 6 constrain.
+func (s *Stats) VerticalTraffic(l int) int64 {
+	if l < 1 || l >= s.Topology.NumLevels() {
+		return 0
+	}
+	var total int64
+	for _, c := range s.MoveUpsInto[l-1] {
+		total += c
+	}
+	for _, c := range s.MoveDownsInto[l] {
+		total += c
+	}
+	return total
+}
+
+// MaxUnitVerticalTraffic returns the largest per-unit traffic across the
+// boundary between level l+1 and its children: for each level-(l+1) unit, the
+// R5 moves into it plus the R4 moves into all of its children.
+func (s *Stats) MaxUnitVerticalTraffic(l int) int64 {
+	if l < 1 || l >= s.Topology.NumLevels() {
+		return 0
+	}
+	upper := l + 1
+	perUnit := make([]int64, s.Topology.Units(upper))
+	for u, c := range s.MoveDownsInto[upper-1] {
+		perUnit[u] += c
+	}
+	for child, c := range s.MoveUpsInto[l-1] {
+		perUnit[s.Topology.Parent(l, child)] += c
+	}
+	var max int64
+	for _, c := range perUnit {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// HorizontalTraffic returns the total number of remote-get (R3) moves.
+func (s *Stats) HorizontalTraffic() int64 {
+	var total int64
+	for _, c := range s.RemoteGetsAt {
+		total += c
+	}
+	return total
+}
+
+// MaxNodeHorizontalTraffic returns the largest per-node remote-get count.
+func (s *Stats) MaxNodeHorizontalTraffic() int64 {
+	var max int64
+	for _, c := range s.RemoteGetsAt {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// BlueTraffic returns the total number of R1 and R2 moves (transfers between
+// the unbounded backing store and the node memories).
+func (s *Stats) BlueTraffic() int64 {
+	var total int64
+	for _, c := range s.InputsAt {
+		total += c
+	}
+	for _, c := range s.OutputsAt {
+		total += c
+	}
+	return total
+}
+
+// TotalComputes returns the total number of R6 moves.
+func (s *Stats) TotalComputes() int64 {
+	var total int64
+	for _, c := range s.ComputesBy {
+		total += c
+	}
+	return total
+}
+
+// MaxProcessorComputes returns the largest per-processor compute count (the
+// load imbalance indicator used by Theorem 7's "group performing the maximum
+// number of computations").
+func (s *Stats) MaxProcessorComputes() int64 {
+	var max int64
+	for _, c := range s.ComputesBy {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// String renders a multi-line summary of the statistics.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P-RBW data movement (%d levels, %d procs, %d nodes)\n",
+		s.Topology.NumLevels(), s.Topology.Processors(), s.Topology.Nodes())
+	for l := 1; l < s.Topology.NumLevels(); l++ {
+		fmt.Fprintf(&b, "  %s <-> %s traffic: %d (max per %s unit: %d)\n",
+			s.Topology.Levels[l-1].Name, s.Topology.Levels[l].Name,
+			s.VerticalTraffic(l), s.Topology.Levels[l].Name, s.MaxUnitVerticalTraffic(l))
+	}
+	fmt.Fprintf(&b, "  inter-node (remote gets): %d (max per node: %d)\n",
+		s.HorizontalTraffic(), s.MaxNodeHorizontalTraffic())
+	fmt.Fprintf(&b, "  backing-store transfers: %d\n", s.BlueTraffic())
+	fmt.Fprintf(&b, "  computes: %d (max per processor: %d)\n",
+		s.TotalComputes(), s.MaxProcessorComputes())
+	return b.String()
+}

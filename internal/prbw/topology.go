@@ -1,0 +1,159 @@
+// Package prbw implements the Parallel Red-Blue-White pebble game of
+// Definition 6: a pebble game on a machine with multiple nodes connected by a
+// network, each node holding processors that share a hierarchy of storage
+// levels.  Pebbles come in shades — one shade per storage unit at every level
+// — and the game's moves model loads from slow memory (R1), stores to slow
+// memory (R2), remote gets between nodes (R3), movement up and down the
+// hierarchy (R4/R5), computation in registers (R6) and storage reuse (R7).
+//
+// The package provides a Topology describing the storage hierarchy, a
+// rule-checking Game whose per-unit counters expose vertical and horizontal
+// data movement, and a distributed-schedule player that executes a vertex
+// schedule with a processor assignment and produces a complete legal game.
+package prbw
+
+import (
+	"fmt"
+
+	"cdagio/internal/machine"
+)
+
+// LevelSpec describes one level of the storage hierarchy.
+type LevelSpec struct {
+	// Name labels the level in reports ("regs", "L2", "DRAM", ...).
+	Name string
+	// Units is the total number of storage units N_l at this level across
+	// the whole machine.
+	Units int
+	// Capacity is the number of pebbles S_l each unit can hold.
+	Capacity int
+}
+
+// Topology is the storage hierarchy of a parallel machine, ordered from
+// level 1 (the per-processor registers) to level L (the per-node main
+// memories).  Unit counts must not increase with the level, every level's
+// unit count must divide the next-lower level's count, and the number of
+// units at level L is the number of nodes.
+type Topology struct {
+	Levels []LevelSpec
+}
+
+// Validate checks the structural requirements of the topology.
+func (t Topology) Validate() error {
+	if len(t.Levels) < 2 {
+		return fmt.Errorf("prbw: topology needs at least 2 levels (registers and node memory), got %d", len(t.Levels))
+	}
+	for i, lev := range t.Levels {
+		if lev.Units <= 0 {
+			return fmt.Errorf("prbw: level %d (%s) has %d units", i+1, lev.Name, lev.Units)
+		}
+		if lev.Capacity <= 0 {
+			return fmt.Errorf("prbw: level %d (%s) has capacity %d", i+1, lev.Name, lev.Capacity)
+		}
+		if i > 0 {
+			if lev.Units > t.Levels[i-1].Units {
+				return fmt.Errorf("prbw: level %d (%s) has more units (%d) than level %d (%d)",
+					i+1, lev.Name, lev.Units, i, t.Levels[i-1].Units)
+			}
+			if t.Levels[i-1].Units%lev.Units != 0 {
+				return fmt.Errorf("prbw: level %d unit count %d does not divide level %d unit count %d",
+					i+1, lev.Units, i, t.Levels[i-1].Units)
+			}
+		}
+	}
+	return nil
+}
+
+// NumLevels returns L, the number of storage levels.
+func (t Topology) NumLevels() int { return len(t.Levels) }
+
+// Processors returns P, the number of processors (units at level 1).
+func (t Topology) Processors() int { return t.Levels[0].Units }
+
+// Nodes returns the number of nodes (units at level L).
+func (t Topology) Nodes() int { return t.Levels[len(t.Levels)-1].Units }
+
+// Parent returns the unit index at level l+1 that the given unit of level l
+// is attached to.  Levels are 1-based as in the paper; Parent panics on the
+// last level.
+func (t Topology) Parent(level, unit int) int {
+	if level < 1 || level >= t.NumLevels() {
+		panic(fmt.Sprintf("prbw: Parent called on level %d of %d", level, t.NumLevels()))
+	}
+	ratio := t.Levels[level-1].Units / t.Levels[level].Units
+	return unit / ratio
+}
+
+// UnitOnPath returns the unit index at the given level on the path from
+// processor p up to its node: the ancestor storage unit serving p.
+func (t Topology) UnitOnPath(level, proc int) int {
+	if level < 1 || level > t.NumLevels() {
+		panic(fmt.Sprintf("prbw: level %d out of range [1,%d]", level, t.NumLevels()))
+	}
+	ratio := t.Levels[0].Units / t.Levels[level-1].Units
+	return proc / ratio
+}
+
+// NodeOf returns the node (level-L unit) a processor belongs to.
+func (t Topology) NodeOf(proc int) int { return t.UnitOnPath(t.NumLevels(), proc) }
+
+// Capacity returns S_l for 1-based level l.
+func (t Topology) Capacity(level int) int { return t.Levels[level-1].Capacity }
+
+// Units returns N_l for 1-based level l.
+func (t Topology) Units(level int) int { return t.Levels[level-1].Units }
+
+// TwoLevel returns the simplest useful topology: P processors with S1
+// registers each, all attached to a single node memory of capacity SL.
+func TwoLevel(p, s1 int, sL int) Topology {
+	return Topology{Levels: []LevelSpec{
+		{Name: "regs", Units: p, Capacity: s1},
+		{Name: "mem", Units: 1, Capacity: sL},
+	}}
+}
+
+// Distributed returns a three-level topology with the given number of nodes,
+// processors per node, registers per processor, a shared cache per node and a
+// main memory per node.
+func Distributed(nodes, procsPerNode, regWords, cacheWords, memWords int) Topology {
+	return Topology{Levels: []LevelSpec{
+		{Name: "regs", Units: nodes * procsPerNode, Capacity: regWords},
+		{Name: "cache", Units: nodes, Capacity: cacheWords},
+		{Name: "mem", Units: nodes, Capacity: memWords},
+	}}
+}
+
+// FromMachine derives a topology from a machine description, using
+// regWords registers per core, the machine's cache levels, and its node main
+// memory.  Capacities larger than maxWords are clamped so that pebble-game
+// simulations on modest CDAGs stay meaningful (a 2-GWord memory level would
+// otherwise never evict).
+func FromMachine(m machine.Machine, regWords int, maxWords int64) Topology {
+	clamp := func(w int64) int {
+		if maxWords > 0 && w > maxWords {
+			w = maxWords
+		}
+		if w < 1 {
+			w = 1
+		}
+		return int(w)
+	}
+	levels := []LevelSpec{{
+		Name:     "regs",
+		Units:    m.Nodes * m.CoresPerNode,
+		Capacity: regWords,
+	}}
+	for _, lev := range m.Levels {
+		levels = append(levels, LevelSpec{
+			Name:     lev.Name,
+			Units:    m.Nodes * lev.CountPerNode,
+			Capacity: clamp(lev.CapacityWords),
+		})
+	}
+	levels = append(levels, LevelSpec{
+		Name:     "mem",
+		Units:    m.Nodes,
+		Capacity: clamp(m.MainMemoryWords),
+	})
+	return Topology{Levels: levels}
+}

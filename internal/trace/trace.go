@@ -1,0 +1,151 @@
+// Package trace builds CDAGs from actual scalar computations: a Tracer
+// records every operation applied to its Value handles as a vertex and every
+// data dependence as an edge.  Tracing a solver run produces the CDAG that
+// execution actually induced, which the test suite uses to cross-check the
+// closed-form generators of package gen and which lets the analyzer examine
+// computations that have no generator.
+package trace
+
+import (
+	"fmt"
+
+	"cdagio/internal/cdag"
+)
+
+// Tracer records a scalar computation as a CDAG.
+type Tracer struct {
+	graph *cdag.Graph
+}
+
+// Value is a handle to a traced scalar: the vertex that produced it plus its
+// current numerical value, so traced code computes real results while being
+// recorded.
+type Value struct {
+	vertex cdag.VertexID
+	num    float64
+}
+
+// Vertex returns the CDAG vertex holding the value.
+func (v Value) Vertex() cdag.VertexID { return v.vertex }
+
+// Float returns the numerical value.
+func (v Value) Float() float64 { return v.num }
+
+// New returns an empty tracer.
+func New(name string) *Tracer {
+	return &Tracer{graph: cdag.NewGraph(name, 0)}
+}
+
+// Graph returns the CDAG recorded so far.  The graph remains owned by the
+// tracer; callers should Clone it if they intend to keep mutating the tracer.
+func (t *Tracer) Graph() *cdag.Graph { return t.graph }
+
+// Input records an input value.
+func (t *Tracer) Input(label string, x float64) Value {
+	v := t.graph.AddInput(label)
+	return Value{vertex: v, num: x}
+}
+
+// InputVector records a vector of inputs labelled label[i].
+func (t *Tracer) InputVector(label string, xs []float64) []Value {
+	out := make([]Value, len(xs))
+	for i, x := range xs {
+		out[i] = t.Input(fmt.Sprintf("%s[%d]", label, i), x)
+	}
+	return out
+}
+
+// Constant records a constant: a source vertex that is not tagged as an
+// input (it needs no load in the RBW game, matching how the paper treats
+// embedded coefficients such as the tridiagonal matrix entries).
+func (t *Tracer) Constant(label string, x float64) Value {
+	v := t.graph.AddVertex(label)
+	return Value{vertex: v, num: x}
+}
+
+// Op records an n-ary operation producing result; operands become
+// predecessors of the new vertex.
+func (t *Tracer) Op(label string, result float64, operands ...Value) Value {
+	v := t.graph.AddVertex(label)
+	for _, o := range operands {
+		t.graph.AddEdge(o.vertex, v)
+	}
+	return Value{vertex: v, num: result}
+}
+
+// Add records a + b.
+func (t *Tracer) Add(a, b Value) Value { return t.Op("+", a.num+b.num, a, b) }
+
+// Sub records a − b.
+func (t *Tracer) Sub(a, b Value) Value { return t.Op("-", a.num-b.num, a, b) }
+
+// Mul records a · b.
+func (t *Tracer) Mul(a, b Value) Value { return t.Op("*", a.num*b.num, a, b) }
+
+// Div records a / b.
+func (t *Tracer) Div(a, b Value) Value { return t.Op("/", a.num/b.num, a, b) }
+
+// MulAdd records a·b + c as a single fused vertex.
+func (t *Tracer) MulAdd(a, b, c Value) Value { return t.Op("fma", a.num*b.num+c.num, a, b, c) }
+
+// Output tags the vertex of v as an output of the computation.
+func (t *Tracer) Output(v Value) { t.graph.TagOutput(v.vertex) }
+
+// OutputAll tags every value in vs as an output.
+func (t *Tracer) OutputAll(vs []Value) {
+	for _, v := range vs {
+		t.Output(v)
+	}
+}
+
+// Dot records the inner product of two traced vectors as a multiply per
+// element followed by a balanced reduction, returning the scalar value.
+func (t *Tracer) Dot(a, b []Value) Value {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("trace: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return t.Constant("0", 0)
+	}
+	terms := make([]Value, len(a))
+	for i := range a {
+		terms[i] = t.Mul(a[i], b[i])
+	}
+	for len(terms) > 1 {
+		var next []Value
+		for i := 0; i < len(terms); i += 2 {
+			if i+1 == len(terms) {
+				next = append(next, terms[i])
+				continue
+			}
+			next = append(next, t.Add(terms[i], terms[i+1]))
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// Axpy records y ← y + alpha·x element-wise and returns the new y values.
+func (t *Tracer) Axpy(alpha Value, x, y []Value) []Value {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("trace: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make([]Value, len(y))
+	for i := range y {
+		out[i] = t.MulAdd(alpha, x[i], y[i])
+	}
+	return out
+}
+
+// MatVec records a dense matrix-vector product y = A·x where the matrix rows
+// are traced values.
+func (t *Tracer) MatVec(a [][]Value, x []Value) []Value {
+	out := make([]Value, len(a))
+	for i, row := range a {
+		if len(row) != len(x) {
+			panic(fmt.Sprintf("trace: matvec row %d length mismatch", i))
+		}
+		out[i] = t.Dot(row, x)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package wavefront implements the min-cut based lower-bound technique of
+// Section 3.3: schedule wavefronts, minimum-cardinality wavefronts obtained
+// from vertex min-cuts, the w^max quantity, and the Lemma 2 I/O lower bound
+// 2·(w^max − S).
+//
+// The bounds computed here remain valid for CDAGs with tagged inputs because
+// untagging inputs can only decrease the I/O complexity (Theorem 3), and the
+// wavefront computation itself never looks at input/output tags.
+package wavefront
+
+import (
+	"fmt"
+	"sort"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/graphalg"
+)
+
+// ScheduleWavefronts returns, for a complete firing order of all vertices of
+// g (inputs included), the size of the wavefront after each firing: the
+// number of already-fired vertices (including the one just fired) that still
+// have an unfired successor, plus the vertex itself.  The maximum over the
+// schedule is a lower bound on the fast-memory footprint of that schedule.
+func ScheduleWavefronts(g *cdag.Graph, order []cdag.VertexID) ([]int, error) {
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("wavefront: order has %d vertices, graph has %d", len(order), n)
+	}
+	fired := make([]bool, n)
+	position := make([]int, n)
+	for i := range position {
+		position[i] = -1
+	}
+	for i, v := range order {
+		if !g.ValidVertex(v) {
+			return nil, fmt.Errorf("wavefront: vertex %d out of range", v)
+		}
+		if position[v] >= 0 {
+			return nil, fmt.Errorf("wavefront: vertex %d fired twice", v)
+		}
+		position[v] = i
+	}
+	// remaining[v] counts unfired successors of v.
+	remaining := make([]int, n)
+	for v := 0; v < n; v++ {
+		remaining[v] = g.OutDegree(cdag.VertexID(v))
+	}
+	// live counts fired vertices that still have unfired successors.
+	live := 0
+	sizes := make([]int, len(order))
+	for i, v := range order {
+		for _, p := range g.Predecessors(v) {
+			if !fired[p] {
+				return nil, fmt.Errorf("wavefront: vertex %d fired before its predecessor %d", v, p)
+			}
+		}
+		fired[v] = true
+		if remaining[v] > 0 {
+			live++
+		}
+		for _, p := range g.Predecessors(v) {
+			remaining[p]--
+			if remaining[p] == 0 {
+				live--
+			}
+		}
+		// The wavefront contains v by definition even when v has no unfired
+		// successors left.
+		w := live
+		if remaining[v] == 0 {
+			w++
+		}
+		sizes[i] = w
+	}
+	return sizes, nil
+}
+
+// MaxScheduleWavefront returns the largest wavefront of the schedule.
+func MaxScheduleWavefront(g *cdag.Graph, order []cdag.VertexID) (int, error) {
+	sizes, err := ScheduleWavefronts(g, order)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max, nil
+}
+
+// MinWavefrontAt returns a lower bound on the minimum-cardinality wavefront
+// induced by x (Section 3.3), computed as the maximum number of vertex-
+// disjoint paths from {x} ∪ Anc(x) to Desc(x).
+func MinWavefrontAt(g *cdag.Graph, x cdag.VertexID) int {
+	return graphalg.MinWavefrontLowerBound(g, x)
+}
+
+// WMax returns a lower bound on w^max_G = max_x |W^min_G(x)| over the given
+// candidate vertices (all vertices when candidates is nil), along with a
+// vertex attaining it.
+func WMax(g *cdag.Graph, candidates []cdag.VertexID) (int, cdag.VertexID) {
+	return graphalg.MaxMinWavefrontLowerBound(g, candidates)
+}
+
+// Lemma2Bound returns the I/O lower bound of Lemma 2: 2·(wmax − S), never
+// negative.
+func Lemma2Bound(wmax, s int) int64 {
+	v := int64(2) * int64(wmax-s)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TopCandidates returns up to k vertices of g ordered by decreasing
+// (in-degree + out-degree), a cheap heuristic for where large wavefronts
+// occur (reduction roots and broadcast sources).  It lets callers bound WMax
+// computations on large CDAGs without scanning every vertex.
+func TopCandidates(g *cdag.Graph, k int) []cdag.VertexID {
+	type ranked struct {
+		v      cdag.VertexID
+		degree int
+	}
+	all := make([]ranked, 0, g.NumVertices())
+	for _, v := range g.Vertices() {
+		all = append(all, ranked{v: v, degree: g.InDegree(v) + g.OutDegree(v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].degree != all[j].degree {
+			return all[i].degree > all[j].degree
+		}
+		return all[i].v < all[j].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]cdag.VertexID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].v
+	}
+	return out
+}
+
+// NonDisjointBound composes per-sub-CDAG wavefront bounds according to the
+// non-disjoint decomposition of Theorem 4 as it is used in Theorems 8 and 9:
+// for each designated vertex x_i of a (possibly overlapping) sub-CDAG C_i,
+// the I/O of the whole CDAG is at least the sum over i of
+// 2·(|W^min_{C_i}(x_i)| − S).  wavefronts lists the |W^min| values.
+func NonDisjointBound(wavefronts []int, s int) int64 {
+	var total int64
+	for _, w := range wavefronts {
+		total += Lemma2Bound(w, s)
+	}
+	return total
+}

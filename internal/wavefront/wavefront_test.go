@@ -1,0 +1,172 @@
+package wavefront
+
+import (
+	"testing"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/gen"
+	"cdagio/internal/pebble"
+)
+
+func TestScheduleWavefrontsChain(t *testing.T) {
+	g := gen.Chain(5)
+	order := g.MustTopoOrder()
+	sizes, err := ScheduleWavefronts(g, order)
+	if err != nil {
+		t.Fatalf("ScheduleWavefronts: %v", err)
+	}
+	// On a chain the wavefront is always exactly one vertex.
+	for i, s := range sizes {
+		if s != 1 {
+			t.Errorf("wavefront[%d] = %d, want 1", i, s)
+		}
+	}
+	max, err := MaxScheduleWavefront(g, order)
+	if err != nil || max != 1 {
+		t.Errorf("max wavefront = %d (%v), want 1", max, err)
+	}
+}
+
+func TestScheduleWavefrontsDiamond(t *testing.T) {
+	g := cdag.NewGraph("diamond", 4)
+	a := g.AddInput("a")
+	b := g.AddVertex("b")
+	c := g.AddVertex("c")
+	d := g.AddOutput("d")
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	sizes, err := ScheduleWavefronts(g, []cdag.VertexID{a, b, c, d})
+	if err != nil {
+		t.Fatalf("ScheduleWavefronts: %v", err)
+	}
+	// After firing b: a (successor c unfired) and b (successor d unfired)
+	// are both live -> wavefront 2.  After firing c: b and c live -> 2.
+	want := []int{1, 2, 2, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("wavefront[%d] = %d, want %d (all: %v)", i, sizes[i], want[i], sizes)
+		}
+	}
+}
+
+func TestScheduleWavefrontsErrors(t *testing.T) {
+	g := gen.Chain(3)
+	if _, err := ScheduleWavefronts(g, []cdag.VertexID{0, 1}); err == nil {
+		t.Errorf("expected length error")
+	}
+	if _, err := ScheduleWavefronts(g, []cdag.VertexID{0, 1, 1}); err == nil {
+		t.Errorf("expected duplicate error")
+	}
+	if _, err := ScheduleWavefronts(g, []cdag.VertexID{1, 0, 2}); err == nil {
+		t.Errorf("expected dependence error")
+	}
+	if _, err := ScheduleWavefronts(g, []cdag.VertexID{0, 1, 99}); err == nil {
+		t.Errorf("expected range error")
+	}
+}
+
+func TestWavefrontIsScheduleFootprintLowerBound(t *testing.T) {
+	// For any schedule, the maximum wavefront is at most the number of red
+	// pebbles needed to run it plus the I/O... more directly: the Lemma 2
+	// bound 2(wmax − S) must never exceed the I/O of an actual game with S
+	// pebbles.
+	cases := []struct {
+		name string
+		g    *cdag.Graph
+		s    int
+	}{
+		{"fft16", gen.FFT(16), 6},
+		{"pyramid8", gen.Pyramid(8), 4},
+		{"dot8", gen.DotProduct(8), 4},
+		{"jacobi", gen.Jacobi(1, 10, 4, gen.StencilStar).Graph, 5},
+	}
+	for _, tc := range cases {
+		wmax, at := WMax(tc.g, nil)
+		if wmax < 1 || at == cdag.InvalidVertex {
+			t.Fatalf("%s: WMax = %d", tc.name, wmax)
+		}
+		lb := Lemma2Bound(wmax, tc.s)
+		res, err := pebble.PlayTopological(tc.g, pebble.RBW, tc.s, pebble.Belady)
+		if err != nil {
+			t.Fatalf("%s: PlayTopological: %v", tc.name, err)
+		}
+		if int64(res.IO()) < lb {
+			t.Errorf("%s: measured I/O %d below Lemma 2 bound %d (wmax=%d)",
+				tc.name, res.IO(), lb, wmax)
+		}
+	}
+}
+
+func TestLemma2Bound(t *testing.T) {
+	if Lemma2Bound(10, 4) != 12 {
+		t.Errorf("Lemma2Bound(10,4) = %d, want 12", Lemma2Bound(10, 4))
+	}
+	if Lemma2Bound(3, 8) != 0 {
+		t.Errorf("Lemma2Bound should clamp at 0")
+	}
+}
+
+func TestMinWavefrontAtReduction(t *testing.T) {
+	// The CG-style reduction structure: the alpha vertex of iteration 0 in a
+	// 1-D CG CDAG has a wavefront of at least 2n (vectors p and v are live).
+	n := 8
+	cg := gen.CG(1, n, 2)
+	w := MinWavefrontAt(cg.Graph, cg.AlphaVertex[0])
+	if w < 2*n {
+		t.Errorf("CG alpha wavefront = %d, want >= %d", w, 2*n)
+	}
+	// The gamma vertex keeps at least the new residual vector live.
+	wg := MinWavefrontAt(cg.Graph, cg.GammaVertex[0])
+	if wg < n {
+		t.Errorf("CG gamma wavefront = %d, want >= %d", wg, n)
+	}
+}
+
+func TestNonDisjointBound(t *testing.T) {
+	// Two sub-CDAGs with wavefronts 10 and 6, S = 4: 2(10-4) + 2(6-4) = 16.
+	if got := NonDisjointBound([]int{10, 6}, 4); got != 16 {
+		t.Errorf("NonDisjointBound = %d, want 16", got)
+	}
+	if got := NonDisjointBound(nil, 4); got != 0 {
+		t.Errorf("empty NonDisjointBound = %d, want 0", got)
+	}
+}
+
+func TestTopCandidates(t *testing.T) {
+	g := gen.DotProduct(8)
+	top := TopCandidates(g, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopCandidates returned %d vertices", len(top))
+	}
+	// The highest-degree vertices should not be inputs (inputs have degree 1
+	// in a dot product, multiply/add vertices have degree >= 2).
+	if g.IsInput(top[0]) {
+		t.Errorf("top candidate is an input vertex")
+	}
+	// Requesting more candidates than vertices returns all of them.
+	all := TopCandidates(g, g.NumVertices()+10)
+	if len(all) != g.NumVertices() {
+		t.Errorf("TopCandidates overflow = %d", len(all))
+	}
+}
+
+func TestWMaxCandidatesRestriction(t *testing.T) {
+	// A dot product can be reduced as it goes, so its minimum wavefronts are
+	// tiny; a 1-D CG iteration in contrast must keep whole vectors live.
+	g := gen.DotProduct(6)
+	full, _ := WMax(g, nil)
+	restricted, _ := WMax(g, TopCandidates(g, 3))
+	if restricted > full {
+		t.Errorf("restricted WMax %d exceeds full WMax %d", restricted, full)
+	}
+	if full < 1 {
+		t.Errorf("dot product WMax = %d, want >= 1", full)
+	}
+	cg := gen.CG(1, 6, 1)
+	wcg, _ := WMax(cg.Graph, []cdag.VertexID{cg.AlphaVertex[0], cg.GammaVertex[0]})
+	if wcg < 2*6 {
+		t.Errorf("CG WMax = %d, want >= 12 (two live vectors)", wcg)
+	}
+}
