@@ -201,8 +201,20 @@ var (
 // WavefrontAt returns the min-cut wavefront lower bound induced by a vertex.
 func WavefrontAt(g *Graph, x VertexID) int { return wavefront.MinWavefrontAt(g, x) }
 
-// WMax returns the maximum min-cut wavefront bound over the candidates.
+// WMax returns the maximum min-cut wavefront bound over the candidates,
+// computed by the parallel pruned search engine with default options.
 func WMax(g *Graph, candidates []VertexID) (int, VertexID) { return wavefront.WMax(g, candidates) }
+
+// WMaxOptions configures WMaxWithOptions: the worker-pool width of the
+// candidate search and whether upper-bound pruning is applied.
+type WMaxOptions = wavefront.WMaxOptions
+
+// WMaxWithOptions is WMax with an explicit worker-pool width and pruning
+// control.  The result (bound and witness vertex) always equals the serial
+// all-candidates scan, independent of worker count.
+func WMaxWithOptions(g *Graph, candidates []VertexID, opts WMaxOptions) (int, VertexID) {
+	return wavefront.WMaxOpts(g, candidates, opts)
+}
 
 // --- Machines and balance ------------------------------------------------------
 

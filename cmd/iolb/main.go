@@ -29,6 +29,7 @@ func main() {
 		iters      = flag.Int("iters", 2, "outer iterations (cg, gmres)")
 		s          = flag.Int("S", 64, "fast-memory capacity in words")
 		candidates = flag.Int("candidates", 0, "wavefront candidate vertices (0 = degree-ranked sample of 32, -1 = all)")
+		jobs       = flag.Int("j", 0, "worker goroutines for the wavefront search (0 = GOMAXPROCS)")
 		exact      = flag.Int("exact", 0, "run the exact optimal search on CDAGs up to this many vertices")
 		blocked    = flag.Bool("blocked", false, "use the blocked/skewed schedule instead of the topological one where available")
 	)
@@ -42,6 +43,7 @@ func main() {
 	analysis, err := cdagio.Analyze(g, cdagio.AnalyzeOptions{
 		FastMemory:          *s,
 		WavefrontCandidates: *candidates,
+		Concurrency:         *jobs,
 		ExactOptimalLimit:   *exact,
 		Schedule:            schedule,
 	})

@@ -39,6 +39,10 @@ func main() {
 		regs     = flag.Int("regs", 8, "registers per processor (parallel)")
 		cache    = flag.Int("cache", 256, "shared cache words per node (parallel)")
 		mem      = flag.Int("mem", 1<<20, "main-memory words per node (parallel)")
+		grain    = flag.Int("grain", 0, "block-cyclic assignment grain (0 = one block per processor)")
+
+		wmax = flag.Bool("wmax", false, "also report the w^max min-cut wavefront lower bound")
+		jobs = flag.Int("j", 0, "worker goroutines for the w^max search (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -49,9 +53,14 @@ func main() {
 	}
 	fmt.Println(g)
 
+	if *wmax {
+		w, at := cdagio.WMaxWithOptions(g, nil, cdagio.WMaxOptions{Concurrency: *jobs})
+		fmt.Printf("w^max >= %d (at vertex %d, all candidates)\n", w, at)
+	}
+
 	if *parallel {
 		topo := prbw.Distributed(*nodes, *procs, *regs, *cache, *mem)
-		asg := prbw.RoundRobin(g, topo.Processors(), 0)
+		asg := prbw.RoundRobin(g, topo.Processors(), *grain)
 		stats, err := cdagio.PlayParallel(g, topo, asg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pebblesim:", err)

@@ -1,0 +1,3 @@
+module cdagio
+
+go 1.21

@@ -5,8 +5,13 @@ import (
 	"math"
 )
 
-// powInt returns base^exp for small non-negative integer exponents.
+// powInt returns base^exp for small integer exponents.  Negative exponents
+// yield the reciprocal power (previously they silently returned 1, corrupting
+// any bound evaluated with an inverted parameterization).
 func powInt(base float64, exp int) float64 {
+	if exp < 0 {
+		return 1 / powInt(base, -exp)
+	}
 	out := 1.0
 	for i := 0; i < exp; i++ {
 		out *= base

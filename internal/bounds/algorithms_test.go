@@ -1,0 +1,40 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPowInt covers the integer power helper, including the negative
+// exponents that used to fall through to 1.
+func TestPowInt(t *testing.T) {
+	cases := []struct {
+		base float64
+		exp  int
+		want float64
+	}{
+		{2, 0, 1},
+		{2, 1, 2},
+		{2, 10, 1024},
+		{3, 3, 27},
+		{0.5, 2, 0.25},
+		{10, -1, 0.1},
+		{2, -3, 0.125},
+		{4, -2, 0.0625},
+		{1, -100, 1},
+		{0, 3, 0},
+		{-2, 2, 4},
+		{-2, 3, -8},
+		{-2, -2, 0.25},
+	}
+	for _, tc := range cases {
+		got := powInt(tc.base, tc.exp)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("powInt(%g, %d) = %g, want %g", tc.base, tc.exp, got, tc.want)
+		}
+	}
+	// Infinity handling follows IEEE division: 0^-1 is +Inf.
+	if got := powInt(0, -1); !math.IsInf(got, 1) {
+		t.Errorf("powInt(0, -1) = %g, want +Inf", got)
+	}
+}

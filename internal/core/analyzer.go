@@ -29,6 +29,9 @@ type Options struct {
 	// examines (0 selects a degree-ranked sample of 32; negative examines
 	// every vertex, which is expensive on large CDAGs).
 	WavefrontCandidates int
+	// Concurrency bounds the worker pool of the min-cut wavefront search
+	// (≤ 0 selects GOMAXPROCS).
+	Concurrency int
 	// ExactPartitionLimit is the largest operation count for which the exact
 	// U(2S) search (and with it the Corollary 1 bound) runs.  Zero selects 20.
 	ExactPartitionLimit int
@@ -110,7 +113,7 @@ func Analyze(g *cdag.Graph, opts Options) (*Analysis, error) {
 	default:
 		candidateSet = wavefront.TopCandidates(g, candidates)
 	}
-	a.WMax, a.WMaxAt = wavefront.WMax(g, candidateSet)
+	a.WMax, a.WMaxAt = wavefront.WMaxOpts(g, candidateSet, wavefront.WMaxOptions{Concurrency: opts.Concurrency})
 	a.LowerBounds = append(a.LowerBounds, bounds.Bound{
 		Value:       float64(wavefront.Lemma2Bound(a.WMax, s)),
 		Kind:        bounds.Lower,

@@ -120,7 +120,19 @@ func WavefrontUpperBound(g *cdag.Graph, x cdag.VertexID) int {
 // over the supplied candidate vertices (all vertices when candidates is nil).
 // This is a lower bound on w^max_G from Section 3.3 and feeds Lemma 2.
 // It also reports a vertex achieving the maximum.
+//
+// The search runs on the parallel pruned engine with default options; see
+// MaxMinWavefrontLowerBoundOpts for knobs and the exact determinism contract,
+// and MaxMinWavefrontLowerBoundSerial for the straightforward reference scan.
 func MaxMinWavefrontLowerBound(g *cdag.Graph, candidates []cdag.VertexID) (int, cdag.VertexID) {
+	return MaxMinWavefrontLowerBoundOpts(g, candidates, WMaxOptions{})
+}
+
+// MaxMinWavefrontLowerBoundSerial is the reference implementation of the
+// w^max candidate search: a serial scan solving one fresh min-cut instance
+// per candidate.  It returns the first candidate attaining the maximum.  Tests
+// and benchmarks compare the parallel engine against it.
+func MaxMinWavefrontLowerBoundSerial(g *cdag.Graph, candidates []cdag.VertexID) (int, cdag.VertexID) {
 	if candidates == nil {
 		candidates = g.Vertices()
 	}

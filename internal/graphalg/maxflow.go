@@ -8,12 +8,25 @@ type flowNetwork struct {
 	to   []int32
 	cap  []int64
 	n    int
+
+	// BFS/DFS scratch, allocated once and reused across maxFlow calls so that
+	// repeated solves on the same network (the w^max candidate search) do not
+	// allocate.
+	level []int32
+	iter  []int32
+	queue []int32
 }
 
 const flowInf = int64(1) << 60
 
 func newFlowNetwork(n int) *flowNetwork {
-	return &flowNetwork{head: make([][]int32, n), n: n}
+	return &flowNetwork{
+		head:  make([][]int32, n),
+		n:     n,
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
 }
 
 // addEdge adds a directed edge u→v with the given capacity and its reverse
@@ -33,9 +46,7 @@ func (f *flowNetwork) maxFlow(s, t int) int64 {
 		return flowInf
 	}
 	var total int64
-	level := make([]int32, f.n)
-	iter := make([]int32, f.n)
-	queue := make([]int32, 0, f.n)
+	level, iter, queue := f.level, f.iter, f.queue
 	for {
 		// BFS to build the level graph.
 		for i := range level {
@@ -55,6 +66,7 @@ func (f *flowNetwork) maxFlow(s, t int) int64 {
 			}
 		}
 		if level[t] < 0 {
+			f.queue = queue[:0]
 			return total
 		}
 		for i := range iter {

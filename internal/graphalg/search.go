@@ -1,0 +1,348 @@
+package graphalg
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cdagio/internal/cdag"
+)
+
+// WMaxOptions configures the w^max candidate search of
+// MaxMinWavefrontLowerBoundOpts.
+type WMaxOptions struct {
+	// Concurrency is the number of worker goroutines scanning candidates.
+	// Zero or negative selects runtime.GOMAXPROCS(0).
+	Concurrency int
+	// DisablePruning turns off the cheap upper-bound pre-pass that skips
+	// candidates which cannot beat the best bound found so far.  Pruning
+	// never changes the result — bound value and witness vertex are identical
+	// in every mode — so disabling it is only useful for benchmarking the
+	// unpruned search.
+	DisablePruning bool
+}
+
+// prunedMark flags a candidate skipped by the upper-bound prune.  It can never
+// collide with a real bound, which is at least 1.
+const prunedMark = int32(-1)
+
+// MaxMinWavefrontLowerBoundOpts is the engine behind
+// MaxMinWavefrontLowerBound: a parallel search over the candidate vertices
+// with per-worker reusable scratch (flow network, traversal stacks, epoch-
+// stamped vertex marks) and upper-bound pruning.
+//
+// The result is exactly that of MaxMinWavefrontLowerBoundSerial — the same
+// bound value and the same witness vertex (the first candidate attaining the
+// maximum), independent of worker count and timing: pruning only skips
+// candidates whose cheap upper bound is strictly below the best value already
+// established, and such candidates can neither raise the bound nor tie it.
+func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
+	if candidates == nil {
+		candidates = g.Vertices()
+	}
+	if len(candidates) == 0 {
+		return 0, cdag.InvalidVertex
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	nc := len(candidates)
+	lb := make([]int32, nc)
+
+	// Processing order: with pruning enabled, first compute a cheap achievable
+	// wavefront size for every candidate and scan in decreasing upper-bound
+	// order.  The first few max-flow solves then establish a large best-so-far
+	// that prunes the long tail of candidates outright, and the search can
+	// stop paying for Dinic runs as soon as the remaining upper bounds drop
+	// below it.
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	var ub []int32
+	if !opts.DisablePruning {
+		ub = make([]int32, nc)
+		parallelFor(workers, nc, func(sc *wmaxScratch, i int) {
+			sc.explore(candidates[i])
+			ub[i] = int32(sc.upperBound(candidates[i]))
+		}, func() *wmaxScratch { return newWMaxScratch(g) })
+		sort.Slice(order, func(a, b int) bool {
+			if ub[order[a]] != ub[order[b]] {
+				return ub[order[a]] > ub[order[b]]
+			}
+			return order[a] < order[b]
+		})
+	}
+
+	var best atomic.Int64
+	parallelFor(workers, nc, func(sc *wmaxScratch, k int) {
+		i := order[k]
+		x := candidates[i]
+		if ub != nil && int64(ub[i]) < best.Load() {
+			// lb(x) <= ub(x) < best: x cannot attain the final bound, so
+			// skipping it changes neither the value nor the witness.  The
+			// strict comparison is what makes the witness deterministic:
+			// candidates that could tie the maximum are always solved, so the
+			// final first-in-candidate-order scan is timing-independent.
+			lb[i] = prunedMark
+			return
+		}
+		sc.explore(x)
+		w := int32(sc.minWavefront(x))
+		lb[i] = w
+		for {
+			cur := best.Load()
+			if int64(w) <= cur || best.CompareAndSwap(cur, int64(w)) {
+				break
+			}
+		}
+	}, func() *wmaxScratch { return newWMaxScratch(g) })
+
+	bestW := int32(best.Load())
+	for i := range candidates {
+		if lb[i] == bestW {
+			return int(bestW), candidates[i]
+		}
+	}
+	// Unreachable: at least one candidate is always computed.
+	return int(bestW), cdag.InvalidVertex
+}
+
+// parallelFor runs body(i) for i in [0, n) over the given number of worker
+// goroutines, each with its own scratch instance.
+func parallelFor(workers, n int, body func(*wmaxScratch, int), mkScratch func() *wmaxScratch) {
+	if workers <= 1 {
+		sc := mkScratch()
+		for i := 0; i < n; i++ {
+			body(sc, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := mkScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(sc, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// wmaxScratch is the per-worker reusable state of the w^max search: epoch-
+// stamped ancestor/descendant marks, traversal stacks, and a Dinic flow
+// network whose static part (vertex-splitting arcs and CDAG edge arcs) is
+// built once and reset in O(E) per candidate instead of reallocated.
+type wmaxScratch struct {
+	g *cdag.Graph
+	n int
+
+	epoch    int32
+	ancMark  []int32
+	descMark []int32
+	seenMark []int32
+	stack    []cdag.VertexID
+	anc      []cdag.VertexID
+	desc     []cdag.VertexID
+
+	net      *flowNetwork
+	cap0     []int64 // pristine capacities of the static arcs
+	splitArc []int32 // arc index of each vertex's vIn->vOut edge
+	baseArcs int
+	baseHead []int32 // static head[] lengths
+	extNodes []int32 // nodes whose head[] grew this candidate
+}
+
+func newWMaxScratch(g *cdag.Graph) *wmaxScratch {
+	n := g.NumVertices()
+	return &wmaxScratch{
+		g:        g,
+		n:        n,
+		ancMark:  make([]int32, n),
+		descMark: make([]int32, n),
+		seenMark: make([]int32, n),
+	}
+}
+
+// explore stamps the ancestor and descendant sets of x into the scratch marks
+// and element lists for the current epoch.
+func (sc *wmaxScratch) explore(x cdag.VertexID) {
+	sc.epoch++
+	e := sc.epoch
+	g := sc.g
+
+	sc.desc = sc.desc[:0]
+	sc.stack = append(sc.stack[:0], g.Successors(x)...)
+	for len(sc.stack) > 0 {
+		u := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if sc.descMark[u] == e {
+			continue
+		}
+		sc.descMark[u] = e
+		sc.desc = append(sc.desc, u)
+		sc.stack = append(sc.stack, g.Successors(u)...)
+	}
+
+	sc.anc = sc.anc[:0]
+	sc.stack = append(sc.stack[:0], g.Predecessors(x)...)
+	for len(sc.stack) > 0 {
+		u := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if sc.ancMark[u] == e {
+			continue
+		}
+		sc.ancMark[u] = e
+		sc.anc = append(sc.anc, u)
+		sc.stack = append(sc.stack, g.Predecessors(u)...)
+	}
+}
+
+// upperBound computes WavefrontUpperBound(g, x) from the current epoch's
+// marks: the smaller boundary of the earliest and latest convex cuts around x,
+// always counting x itself.
+func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
+	e := sc.epoch
+	g := sc.g
+
+	// Earliest cut: S = {x} ∪ Anc(x).  Boundary = vertices of S with a
+	// successor outside S.
+	early := 0
+	xInBoundary := false
+	for _, w := range g.Successors(x) {
+		if w != x && sc.ancMark[w] != e {
+			early++
+			xInBoundary = true
+			break
+		}
+	}
+	for _, v := range sc.anc {
+		for _, w := range g.Successors(v) {
+			if w != x && sc.ancMark[w] != e {
+				early++
+				break
+			}
+		}
+	}
+	if !xInBoundary {
+		early++ // x belongs to the wavefront by definition
+	}
+
+	best := early
+	if len(sc.desc) > 0 {
+		// Latest cut: T = Desc(x).  Boundary = distinct non-descendant
+		// predecessors of descendants; x is always among them because every
+		// successor of x is a descendant.
+		late := 0
+		for _, d := range sc.desc {
+			for _, p := range g.Predecessors(d) {
+				if sc.descMark[p] != e && sc.seenMark[p] != e {
+					sc.seenMark[p] = e
+					late++
+				}
+			}
+		}
+		if late < best {
+			best = late
+		}
+	} else if 1 < best {
+		// With no descendants the latest cut has boundary {x}.
+		best = 1
+	}
+	if best < 1 {
+		best = 1
+	}
+	return best
+}
+
+// minWavefront computes MinWavefrontLowerBound(g, x) for the explored
+// candidate by resetting the shared flow network and running Dinic on the
+// vertex-split min-cut instance with Desc(x) uncuttable.
+func (sc *wmaxScratch) minWavefront(x cdag.VertexID) int {
+	if len(sc.desc) == 0 {
+		return 1
+	}
+	sc.ensureNet()
+	net := sc.net
+
+	// Reset to the static network: truncate per-candidate arcs, restore
+	// pristine capacities.
+	net.to = net.to[:sc.baseArcs]
+	net.cap = net.cap[:sc.baseArcs]
+	copy(net.cap, sc.cap0)
+	for _, u := range sc.extNodes {
+		net.head[u] = net.head[u][:sc.baseHead[u]]
+	}
+	sc.extNodes = sc.extNodes[:0]
+
+	// Descendants may not be cut: infinite capacity on their split arc.
+	for _, d := range sc.desc {
+		net.cap[sc.splitArc[d]] = flowInf
+	}
+
+	// Super source to {x} ∪ Anc(x), descendants to super sink.
+	s, t := 2*sc.n, 2*sc.n+1
+	sc.addExtEdge(s, 2*int(x))
+	for _, a := range sc.anc {
+		sc.addExtEdge(s, 2*int(a))
+	}
+	for _, d := range sc.desc {
+		sc.addExtEdge(2*int(d)+1, t)
+	}
+
+	flow := net.maxFlow(s, t)
+	w := int(flow)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensureNet builds the static part of the vertex-split flow network on first
+// use: vIn->vOut split arcs with unit capacity and vOut->wIn arcs with
+// infinite capacity for every CDAG edge.  Node numbering matches MinVertexCut:
+// vIn = 2v, vOut = 2v+1, super source 2n, super sink 2n+1.
+func (sc *wmaxScratch) ensureNet() {
+	if sc.net != nil {
+		return
+	}
+	n := sc.n
+	net := newFlowNetwork(2*n + 2)
+	sc.splitArc = make([]int32, n)
+	for v := 0; v < n; v++ {
+		sc.splitArc[v] = int32(len(net.to))
+		net.addEdge(2*v, 2*v+1, 1)
+		for _, w := range sc.g.Successors(cdag.VertexID(v)) {
+			net.addEdge(2*v+1, 2*int(w), flowInf)
+		}
+	}
+	sc.baseArcs = len(net.to)
+	sc.cap0 = append([]int64(nil), net.cap...)
+	sc.baseHead = make([]int32, net.n)
+	for u := range net.head {
+		sc.baseHead[u] = int32(len(net.head[u]))
+	}
+	sc.net = net
+}
+
+// addExtEdge adds a per-candidate infinite-capacity arc, recording both
+// endpoints so the reset can truncate their adjacency back to the static
+// network.
+func (sc *wmaxScratch) addExtEdge(u, v int) {
+	sc.extNodes = append(sc.extNodes, int32(u), int32(v))
+	sc.net.addEdge(u, v, flowInf)
+}

@@ -1,0 +1,127 @@
+package graphalg
+
+import (
+	"testing"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/gen"
+)
+
+// generatorGraphs builds one modest instance of every CDAG family in
+// internal/gen, exercising the search engine across the full range of graph
+// shapes (chains, trees, grids, butterflies, Krylov iterations).
+func generatorGraphs(t testing.TB) map[string]*cdag.Graph {
+	t.Helper()
+	return map[string]*cdag.Graph{
+		"chain":       gen.Chain(30),
+		"indepChains": gen.IndependentChains(3, 8),
+		"reduction":   gen.ReductionTree(32),
+		"dot":         gen.DotProduct(24),
+		"saxpy":       gen.Saxpy(20),
+		"outer":       gen.OuterProduct(8),
+		"matmul":      gen.MatMul(5).Graph,
+		"composite":   gen.Composite(6).Graph,
+		"fft":         gen.FFT(16),
+		"binomial":    gen.BinomialTree(4),
+		"pyramid":     gen.Pyramid(6),
+		"jacobi1d":    gen.Jacobi(1, 12, 4, gen.StencilStar).Graph,
+		"jacobi2d":    gen.Jacobi(2, 6, 3, gen.StencilBox).Graph,
+		"heat1d":      gen.HeatEquation1D(12, 3).Graph,
+		"cg":          gen.CG(2, 4, 2).Graph,
+		"gmres":       gen.GMRES(2, 4, 2).Graph,
+		"spmv": gen.SpMV(4, [][]int{
+			{0, 1}, {1, 2, 3}, {0, 3}, {2},
+		}).Graph,
+	}
+}
+
+// TestParallelWMaxMatchesSerial checks, for every generator family, that the
+// parallel pruned engine returns exactly the serial all-candidates bound under
+// every combination of worker count and pruning mode, and that the reported
+// witness vertex attains the bound.
+func TestParallelWMaxMatchesSerial(t *testing.T) {
+	for name, g := range generatorGraphs(t) {
+		wantW, wantV := MaxMinWavefrontLowerBoundSerial(g, nil)
+		if wantV == cdag.InvalidVertex {
+			t.Fatalf("%s: serial search found no witness", name)
+		}
+		for _, conc := range []int{1, 2, 4, 7} {
+			for _, noPrune := range []bool{false, true} {
+				gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, nil, WMaxOptions{
+					Concurrency:    conc,
+					DisablePruning: noPrune,
+				})
+				if gotW != wantW {
+					t.Errorf("%s (conc=%d, noPrune=%v): bound = %d, serial = %d",
+						name, conc, noPrune, gotW, wantW)
+				}
+				if gotV != wantV {
+					// Strict pruning never skips a candidate that could tie
+					// the maximum, so the witness (earliest maximizer in
+					// candidate order) must match the serial scan exactly in
+					// every mode.
+					t.Errorf("%s (conc=%d, noPrune=%v): witness = %d, serial = %d",
+						name, conc, noPrune, gotV, wantV)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWMaxSubsetCandidates checks agreement on explicit candidate
+// subsets, including single candidates and empty candidate lists.
+func TestParallelWMaxSubsetCandidates(t *testing.T) {
+	g := gen.Jacobi(1, 10, 3, gen.StencilStar).Graph
+	all := g.Vertices()
+	subsets := [][]cdag.VertexID{
+		{all[0]},
+		{all[len(all)-1]},
+		all[:5],
+		all[len(all)/2:],
+		{all[3], all[17], all[9]},
+	}
+	for i, cs := range subsets {
+		wantW, wantV := MaxMinWavefrontLowerBoundSerial(g, cs)
+		gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, cs, WMaxOptions{Concurrency: 3})
+		if gotW != wantW || gotV != wantV {
+			t.Errorf("subset %d: (bound, witness) = (%d, %d), want (%d, %d)", i, gotW, gotV, wantW, wantV)
+		}
+	}
+	if w, v := MaxMinWavefrontLowerBoundOpts(g, []cdag.VertexID{}, WMaxOptions{}); w != 0 || v != cdag.InvalidVertex {
+		t.Errorf("empty candidates: got (%d, %d), want (0, invalid)", w, v)
+	}
+}
+
+// TestScratchUpperBoundMatches checks the epoch-stamped scratch reimplementation
+// of WavefrontUpperBound against the set-based original on every generator, on
+// every vertex.  The prune pass is only exact if this upper bound is.
+func TestScratchUpperBoundMatches(t *testing.T) {
+	for name, g := range generatorGraphs(t) {
+		sc := newWMaxScratch(g)
+		for _, x := range g.Vertices() {
+			sc.explore(x)
+			got := sc.upperBound(x)
+			want := WavefrontUpperBound(g, x)
+			if got != want {
+				t.Fatalf("%s vertex %d: scratch upper bound %d, reference %d", name, x, got, want)
+			}
+		}
+	}
+}
+
+// TestScratchMinWavefrontMatches checks the scratch flow-network path against
+// MinWavefrontLowerBound vertex by vertex, including repeated reuse of the
+// same scratch across candidates (the reset path).
+func TestScratchMinWavefrontMatches(t *testing.T) {
+	for name, g := range generatorGraphs(t) {
+		sc := newWMaxScratch(g)
+		for _, x := range g.Vertices() {
+			sc.explore(x)
+			got := sc.minWavefront(x)
+			want := MinWavefrontLowerBound(g, x)
+			if got != want {
+				t.Fatalf("%s vertex %d: scratch min wavefront %d, reference %d", name, x, got, want)
+			}
+		}
+	}
+}

@@ -47,6 +47,10 @@ func (e *ScheduleError) Error() string { return "pebble: invalid schedule: " + e
 //
 // PlaySchedule fails if s is smaller than the largest in-degree plus one
 // (a vertex and all its predecessors must hold red pebbles simultaneously).
+//
+// The player allocates only run-constant state: use lists are a flat CSR
+// table, pinned sets are epoch stamps, and the red-pebble set is mirrored in
+// a dense list so evictions scan occupancy instead of the whole vertex range.
 func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	policy EvictionPolicy, record bool) (Result, error) {
 
@@ -93,15 +97,54 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 		return Result{}, &ScheduleError{Reason: "schedule length does not match non-input vertex count"}
 	}
 
-	// uses[v] lists the schedule positions that consume v, in increasing order.
-	uses := make([][]int, n)
-	for i, v := range order {
+	// uses lists the schedule positions consuming each vertex, in increasing
+	// order, as one flat CSR table (useList[useStart[v]:useStart[v+1]]).
+	useStart := make([]int32, n+1)
+	for _, v := range order {
 		for _, p := range g.Predecessors(v) {
-			uses[p] = append(uses[p], i)
+			useStart[p+1]++
 		}
 	}
-	usePtr := make([]int, n)
+	for v := 0; v < n; v++ {
+		useStart[v+1] += useStart[v]
+	}
+	useList := make([]int32, useStart[n])
+	fill := make([]int32, n)
+	for i, v := range order {
+		for _, p := range g.Predecessors(v) {
+			useList[useStart[p]+fill[p]] = int32(i)
+			fill[p]++
+		}
+	}
+	usePtr := fill // reuse as cursors, reset to zero
+	for v := range usePtr {
+		usePtr[v] = 0
+	}
 	lastUse := make([]int, n)
+
+	// The red set mirrored as a dense list, so evictions scan the values
+	// actually resident instead of the whole vertex bitmap.
+	redList := make([]cdag.VertexID, 0, s+1)
+	redPos := make([]int32, n)
+	for v := range redPos {
+		redPos[v] = -1
+	}
+	redAdd := func(v cdag.VertexID) {
+		redPos[v] = int32(len(redList))
+		redList = append(redList, v)
+	}
+	redRemove := func(v cdag.VertexID) {
+		i := redPos[v]
+		last := len(redList) - 1
+		redList[i] = redList[last]
+		redPos[redList[i]] = i
+		redList = redList[:last]
+		redPos[v] = -1
+	}
+
+	// Pinned sets as epoch stamps over a shared scratch array.
+	pinStamp := make([]int32, n)
+	pinEpoch := int32(0)
 
 	game := NewGame(g, variant, s, record)
 	clock := 0
@@ -110,11 +153,11 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	// after position i, or a sentinel when v is no longer needed.
 	const never = int(^uint(0) >> 1)
 	nextUse := func(v cdag.VertexID, i int) int {
-		for usePtr[v] < len(uses[v]) && uses[v][usePtr[v]] <= i {
+		for usePtr[v] < useStart[v+1]-useStart[v] && int(useList[useStart[v]+usePtr[v]]) <= i {
 			usePtr[v]++
 		}
-		if usePtr[v] < len(uses[v]) {
-			return uses[v][usePtr[v]]
+		if usePtr[v] < useStart[v+1]-useStart[v] {
+			return int(useList[useStart[v]+usePtr[v]])
 		}
 		return never
 	}
@@ -126,13 +169,15 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	}
 
 	// evictOne frees a red pebble, avoiding pinned vertices.  It stores the
-	// victim first when its value would otherwise be lost.
-	evictOne := func(i int, pinned map[cdag.VertexID]bool) error {
+	// victim first when its value would otherwise be lost.  Ties in the
+	// eviction score resolve to the smallest vertex ID, exactly like the
+	// original increasing-order scan of the red bitmap.
+	evictOne := func(i int) error {
 		var victim cdag.VertexID = cdag.InvalidVertex
 		victimScore := -1
 		victimFree := false
-		for _, v := range game.red.Elements() {
-			if pinned[v] {
+		for _, v := range redList {
+			if pinStamp[v] == pinEpoch {
 				continue
 			}
 			free := !needsPreserve(v, i)
@@ -156,7 +201,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 				victim, victimScore, victimFree = v, score, true
 				continue
 			}
-			if free == victimFree && score > victimScore {
+			if free == victimFree && (score > victimScore || (score == victimScore && v < victim)) {
 				victim, victimScore = v, score
 			}
 		}
@@ -168,11 +213,15 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 				return err
 			}
 		}
-		return game.Apply(Move{Delete, victim})
+		if err := game.Apply(Move{Delete, victim}); err != nil {
+			return err
+		}
+		redRemove(victim)
+		return nil
 	}
-	ensureRoom := func(i int, pinned map[cdag.VertexID]bool) error {
+	ensureRoom := func(i int) error {
 		for game.RedInUse() >= s {
-			if err := evictOne(i, pinned); err != nil {
+			if err := evictOne(i); err != nil {
 				return err
 			}
 		}
@@ -181,9 +230,9 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 
 	moves := 0
 	for i, v := range order {
-		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
+		pinEpoch++
 		for _, p := range g.Predecessors(v) {
-			pinned[p] = true
+			pinStamp[p] = pinEpoch
 		}
 		// Bring all predecessors into fast memory.
 		for _, p := range g.Predecessors(v) {
@@ -195,22 +244,24 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 				return Result{}, &ScheduleError{
 					Reason: fmt.Sprintf("value of vertex %d lost before use by %d", p, v)}
 			}
-			if err := ensureRoom(i, pinned); err != nil {
+			if err := ensureRoom(i); err != nil {
 				return Result{}, err
 			}
 			if err := game.Apply(Move{Load, p}); err != nil {
 				return Result{}, err
 			}
+			redAdd(p)
 			lastUse[p] = clock
 			moves++
 		}
 		// Fire v.
-		if err := ensureRoom(i, pinned); err != nil {
+		if err := ensureRoom(i); err != nil {
 			return Result{}, err
 		}
 		if err := game.Apply(Move{Compute, v}); err != nil {
 			return Result{}, err
 		}
+		redAdd(v)
 		lastUse[v] = clock
 		moves++
 		clock++
@@ -220,12 +271,14 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 				if err := game.Apply(Move{Delete, p}); err != nil {
 					return Result{}, err
 				}
+				redRemove(p)
 			}
 		}
 		if game.HasRed(v) && !needsPreserve(v, i) {
 			if err := game.Apply(Move{Delete, v}); err != nil {
 				return Result{}, err
 			}
+			redRemove(v)
 		}
 	}
 
@@ -248,8 +301,8 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 			if game.HasWhite(v) {
 				continue
 			}
-			pinned := map[cdag.VertexID]bool{}
-			if err := ensureRoom(len(order), pinned); err != nil {
+			pinEpoch++ // nothing pinned during the final input touches
+			if err := ensureRoom(len(order)); err != nil {
 				return Result{}, err
 			}
 			if err := game.Apply(Move{Load, v}); err != nil {

@@ -54,6 +54,20 @@ func NewGame(g *cdag.Graph, topo Topology) (*Game, error) {
 		blue:  cdag.NewVertexSet(g.NumVertices()),
 		white: cdag.NewVertexSet(g.NumVertices()),
 	}
+	// Carve every vertex's location list out of one backing array: a value
+	// rarely holds more than a couple of pebbles at once (its level path is
+	// walked with intermediate copies dropped eagerly, plus remote copies on
+	// multi-node machines), so this removes the per-vertex allocation on
+	// first placement.  Vertices that do exceed the inline capacity fall back
+	// to ordinary append growth.
+	inline := 2
+	if topo.Nodes() > 1 {
+		inline = 4
+	}
+	backing := make([]Loc, inline*g.NumVertices())
+	for v := range game.held {
+		game.held[v] = backing[inline*v : inline*v : inline*(v+1)]
+	}
 	game.load = make([][]int, topo.NumLevels())
 	game.moveUpsInto = make([][]int64, topo.NumLevels())
 	game.moveDownsInto = make([][]int64, topo.NumLevels())

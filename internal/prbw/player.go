@@ -15,9 +15,11 @@ type Assignment struct {
 	Proc  []int
 }
 
-// RoundRobin builds an assignment that distributes the non-input vertices of
-// the topological order of g over p processors in contiguous blocks of the
-// given grain (grain ≤ 0 selects an even block distribution).
+// RoundRobin builds a block-cyclic assignment: the non-input vertices of the
+// topological order of g are dealt to the p processors in contiguous blocks
+// of the given grain, wrapping around after processor p−1.  Despite the name
+// the distribution is only vertex-by-vertex round-robin for grain 1; grain ≤ 0
+// selects one contiguous block per processor (an even block distribution).
 func RoundRobin(g *cdag.Graph, p, grain int) Assignment {
 	order := make([]cdag.VertexID, 0, g.NumOperations())
 	for _, v := range g.MustTopoOrder() {
@@ -41,8 +43,7 @@ func RoundRobin(g *cdag.Graph, p, grain int) Assignment {
 // SingleProcessor builds an assignment that runs the whole topological order
 // on processor 0.
 func SingleProcessor(g *cdag.Graph) Assignment {
-	a := RoundRobin(g, 1, 0)
-	return a
+	return RoundRobin(g, 1, 0)
 }
 
 // OwnerCompute builds an assignment from an explicit vertex→processor map and
@@ -70,32 +71,10 @@ type PlayError struct{ Reason string }
 
 func (e *PlayError) Error() string { return "prbw: " + e.Reason }
 
-// player carries the bookkeeping of one Play run.
-type player struct {
-	game *Game
-	g    *cdag.Graph
-	topo Topology
-	asg  Assignment
-
-	uses    [][]int // schedule positions consuming each vertex
-	usePtr  []int
-	pos     int // current schedule position
-	clock   int64
-	touched [][]map[cdag.VertexID]int64 // per level, per unit: last touch time
-}
-
-// Play executes the assignment on g over the topology and returns the
-// resulting data-movement statistics of a complete legal P-RBW game.  The
-// assignment must schedule every non-input vertex exactly once in dependence
-// order, and the register capacity must exceed the largest in-degree.
-func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
-	if err := topo.Validate(); err != nil {
-		return nil, err
-	}
-	if len(asg.Order) != len(asg.Proc) {
-		return nil, &PlayError{Reason: "assignment order and processor slices differ in length"}
-	}
-	// Validate the schedule.
+// validateAssignment checks that the assignment schedules every non-input
+// vertex exactly once in dependence order on a valid processor, and that the
+// register capacity can hold any vertex together with its predecessors.
+func validateAssignment(g *cdag.Graph, topo Topology, asg Assignment) error {
 	n := g.NumVertices()
 	position := make([]int, n)
 	for i := range position {
@@ -103,16 +82,16 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	}
 	for i, v := range asg.Order {
 		if !g.ValidVertex(v) {
-			return nil, &PlayError{Reason: fmt.Sprintf("vertex %d out of range", v)}
+			return &PlayError{Reason: fmt.Sprintf("vertex %d out of range", v)}
 		}
 		if g.IsInput(v) {
-			return nil, &PlayError{Reason: fmt.Sprintf("input vertex %d scheduled", v)}
+			return &PlayError{Reason: fmt.Sprintf("input vertex %d scheduled", v)}
 		}
 		if position[v] >= 0 {
-			return nil, &PlayError{Reason: fmt.Sprintf("vertex %d scheduled twice", v)}
+			return &PlayError{Reason: fmt.Sprintf("vertex %d scheduled twice", v)}
 		}
 		if asg.Proc[i] < 0 || asg.Proc[i] >= topo.Processors() {
-			return nil, &PlayError{Reason: fmt.Sprintf("processor %d out of range", asg.Proc[i])}
+			return &PlayError{Reason: fmt.Sprintf("processor %d out of range", asg.Proc[i])}
 		}
 		position[v] = i
 	}
@@ -122,59 +101,153 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 			continue
 		}
 		if position[v] < 0 {
-			return nil, &PlayError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
+			return &PlayError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
 		}
 		if g.InDegree(id)+1 > topo.Capacity(1) {
-			return nil, &PlayError{Reason: fmt.Sprintf("register capacity %d too small for in-degree %d of vertex %d",
+			return &PlayError{Reason: fmt.Sprintf("register capacity %d too small for in-degree %d of vertex %d",
 				topo.Capacity(1), g.InDegree(id), v)}
 		}
 		for _, p := range g.Predecessors(id) {
 			if !g.IsInput(p) && position[p] > position[v] {
-				return nil, &PlayError{Reason: fmt.Sprintf("vertex %d scheduled before predecessor %d", v, p)}
+				return &PlayError{Reason: fmt.Sprintf("vertex %d scheduled before predecessor %d", v, p)}
 			}
 		}
+	}
+	return nil
+}
+
+// pinSet is an allocation-free membership set of vertices protected from
+// eviction: an epoch-stamped scratch array shared by all sets of the current
+// compute step, plus at most one extra vertex (the value being fetched).  The
+// zero value is unusable; build instances with the player helpers.
+type pinSet struct {
+	stamps []int32
+	epoch  int32
+	extra  cdag.VertexID
+}
+
+func (p pinSet) has(v cdag.VertexID) bool {
+	return v == p.extra || (p.stamps != nil && p.stamps[v] == p.epoch)
+}
+
+// noPins returns the empty pin set.
+func noPins() pinSet { return pinSet{extra: cdag.InvalidVertex} }
+
+// player carries the bookkeeping of one Play run.  Unlike the reference
+// player it keeps no per-unit maps and allocates nothing per compute step:
+// recency and deadness live in dense per-vertex arrays and per-unit indexed
+// heaps, and pinned sets are epoch stamps.
+type player struct {
+	game *Game
+	g    *cdag.Graph
+	topo Topology
+	asg  Assignment
+
+	pos   int   // current schedule position
+	clock int64 // compute steps executed so far; the touch timestamp
+
+	// lastUseAt[v] is the last schedule position consuming v (−1 when none);
+	// noMoreUses[v] flips exactly when the schedule passes that position,
+	// mirroring the reference player's nextUse(pos) comparison.
+	lastUseAt  []int32
+	noMoreUses []bool
+	// dead[v] caches whether losing one copy of v costs nothing: a copy
+	// exists elsewhere, a blue pebble backs it, or no later step needs it.
+	// It is the per-vertex predicate the eviction heaps order by, refreshed
+	// incrementally after every game move that can flip it.
+	dead []bool
+
+	units    []evictHeap // per storage unit, indexed unitBase[level-1]+unit
+	unitBase []int
+
+	pinStamp []int32
+	pinEpoch int32
+
+	stashV []cdag.VertexID // chooseVictim scratch for skipping pinned entries
+	stashT []int64
+}
+
+// Play executes the assignment on g over the topology and returns the
+// resulting data-movement statistics of a complete legal P-RBW game.  The
+// assignment must schedule every non-input vertex exactly once in dependence
+// order, and the register capacity must exceed the largest in-degree.
+//
+// Play produces statistics identical to PlayReference — the eviction order is
+// the same (dead values first, then least recently touched, ties by vertex
+// ID) — but chooses each victim in O(log capacity) instead of scanning the
+// unit, and performs no per-step allocations.
+func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(asg.Order) != len(asg.Proc) {
+		return nil, &PlayError{Reason: "assignment order and processor slices differ in length"}
+	}
+	if err := validateAssignment(g, topo, asg); err != nil {
+		return nil, err
 	}
 
 	game, err := NewGame(g, topo)
 	if err != nil {
 		return nil, err
 	}
-	pl := &player{game: game, g: g, topo: topo, asg: asg,
-		uses: make([][]int, n), usePtr: make([]int, n)}
+	n := g.NumVertices()
+	pl := &player{game: game, g: g, topo: topo, asg: asg}
+	pl.lastUseAt = make([]int32, n)
+	for v := range pl.lastUseAt {
+		pl.lastUseAt[v] = -1
+	}
 	for i, v := range asg.Order {
 		for _, p := range g.Predecessors(v) {
-			pl.uses[p] = append(pl.uses[p], i)
+			pl.lastUseAt[p] = int32(i)
 		}
 	}
-	pl.touched = make([][]map[cdag.VertexID]int64, topo.NumLevels())
-	for l := range pl.touched {
-		pl.touched[l] = make([]map[cdag.VertexID]int64, topo.Units(l+1))
-		for u := range pl.touched[l] {
-			pl.touched[l][u] = make(map[cdag.VertexID]int64)
-		}
+	pl.noMoreUses = make([]bool, n)
+	pl.dead = make([]bool, n)
+	for v := 0; v < n; v++ {
+		id := cdag.VertexID(v)
+		pl.noMoreUses[v] = pl.lastUseAt[v] < 0
+		pl.dead[v] = pl.computeDead(id)
 	}
+	total := 0
+	pl.unitBase = make([]int, topo.NumLevels())
+	for l := 0; l < topo.NumLevels(); l++ {
+		pl.unitBase[l] = total
+		total += topo.Units(l + 1)
+	}
+	pl.units = make([]evictHeap, total)
+	for i := range pl.units {
+		pl.units[i].init(n)
+	}
+	pl.pinStamp = make([]int32, n)
 
 	// Execute the schedule.
 	for i, v := range asg.Order {
 		pl.pos = i
 		proc := asg.Proc[i]
-		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
+		// Values consumed for the last time by this step stop mattering now
+		// (the reference player's nextUse skips uses at the current position).
 		for _, p := range g.Predecessors(v) {
-			pinned[p] = true
+			if pl.lastUseAt[p] == int32(i) && !pl.noMoreUses[p] {
+				pl.noMoreUses[p] = true
+				pl.refreshDead(p)
+			}
 		}
+		pins := pl.newStepPins(g.Predecessors(v))
 		for _, p := range g.Predecessors(v) {
-			if err := pl.fetchToRegisters(p, proc, pinned); err != nil {
+			if err := pl.fetchToRegisters(p, proc, pins); err != nil {
 				return nil, err
 			}
 		}
 		regs := Loc{Level: 1, Unit: proc}
-		if err := pl.ensureCapacity(regs, pinned); err != nil {
+		if err := pl.ensureCapacity(regs, pins); err != nil {
 			return nil, err
 		}
 		if err := game.Compute(proc, v); err != nil {
 			return nil, err
 		}
 		pl.touch(regs, v)
+		pl.refreshDead(v)
 		pl.clock++
 		// Free dead values in the register file immediately (no data movement).
 		for _, p := range g.Predecessors(v) {
@@ -194,36 +267,56 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	return game.Snapshot(), nil
 }
 
+// newStepPins stamps the predecessors of the current compute step into the
+// shared scratch array and returns the pin set over them.
+func (pl *player) newStepPins(preds []cdag.VertexID) pinSet {
+	pl.pinEpoch++
+	for _, p := range preds {
+		pl.pinStamp[p] = pl.pinEpoch
+	}
+	return pinSet{stamps: pl.pinStamp, epoch: pl.pinEpoch, extra: cdag.InvalidVertex}
+}
+
+func (pl *player) unit(at Loc) *evictHeap {
+	return &pl.units[pl.unitBase[at.Level-1]+at.Unit]
+}
+
 func (pl *player) touch(at Loc, v cdag.VertexID) {
-	pl.touched[at.Level-1][at.Unit][v] = pl.clock
+	pl.unit(at).update(v, pl.clock, pl.dead)
 }
 
 func (pl *player) untouch(at Loc, v cdag.VertexID) {
-	delete(pl.touched[at.Level-1][at.Unit], v)
+	pl.unit(at).remove(v, pl.dead)
 }
 
-// nextUse returns the next schedule position that consumes v after the
-// current position, or a large sentinel when there is none.
-const never = int(^uint(0) >> 1)
-
-func (pl *player) nextUse(v cdag.VertexID) int {
-	for pl.usePtr[v] < len(pl.uses[v]) && pl.uses[v][pl.usePtr[v]] <= pl.pos {
-		pl.usePtr[v]++
-	}
-	if pl.usePtr[v] < len(pl.uses[v]) {
-		return pl.uses[v][pl.usePtr[v]]
-	}
-	return never
-}
-
-// valueMatters reports whether losing the last copy of v would be incorrect:
-// v is still needed by a later compute step or must eventually carry a blue
-// pebble as an output.
-func (pl *player) valueMatters(v cdag.VertexID) bool {
-	if pl.nextUse(v) != never {
+// computeDead evaluates the eviction-deadness predicate from the game state:
+// losing one copy of v is free when a blue pebble backs it, another pebble of
+// it exists, or no later compute step consumes it and it is not an output
+// still awaiting its blue pebble.
+func (pl *player) computeDead(v cdag.VertexID) bool {
+	if pl.game.HasBlue(v) {
 		return true
 	}
-	return pl.g.IsOutput(v) && !pl.game.HasBlue(v)
+	if len(pl.game.Locations(v)) > 1 {
+		return true
+	}
+	return pl.noMoreUses[v] && !pl.g.IsOutput(v)
+}
+
+// refreshDead re-evaluates the deadness of v and, when it flipped, re-sifts
+// v's entry in every unit currently holding it so the eviction heaps keep
+// their order.  It must be called after every move that can change the
+// predicate: pebble placements and deletions (copy count), blue placements,
+// and last-use transitions.
+func (pl *player) refreshDead(v cdag.VertexID) {
+	d := pl.computeDead(v)
+	if d == pl.dead[v] {
+		return
+	}
+	pl.dead[v] = d
+	for _, loc := range pl.game.Locations(v) {
+		pl.unit(loc).fix(v, pl.dead)
+	}
 }
 
 // dropIfDead deletes the pebble of v at the unit when its value no longer
@@ -232,11 +325,12 @@ func (pl *player) dropIfDead(at Loc, v cdag.VertexID) {
 	if !pl.game.HasPebbleAt(v, at) {
 		return
 	}
-	if pl.valueMatters(v) && len(pl.game.Locations(v)) == 1 && !pl.game.HasBlue(v) {
+	if !pl.dead[v] {
 		return
 	}
 	if err := pl.game.Delete(at, v); err == nil {
 		pl.untouch(at, v)
+		pl.refreshDead(v)
 	}
 }
 
@@ -244,7 +338,7 @@ func (pl *player) dropIfDead(at Loc, v cdag.VertexID) {
 // evicting least-recently-touched victims and preserving values that would
 // otherwise be lost by pushing them one level toward memory (or to the
 // backing store at level L).
-func (pl *player) ensureCapacity(at Loc, pinned map[cdag.VertexID]bool) error {
+func (pl *player) ensureCapacity(at Loc, pinned pinSet) error {
 	for !pl.game.hasFree(at) {
 		victim, err := pl.chooseVictim(at, pinned)
 		if err != nil {
@@ -257,44 +351,55 @@ func (pl *player) ensureCapacity(at Loc, pinned map[cdag.VertexID]bool) error {
 	return nil
 }
 
-func (pl *player) chooseVictim(at Loc, pinned map[cdag.VertexID]bool) (cdag.VertexID, error) {
-	var best cdag.VertexID = cdag.InvalidVertex
-	bestDead := false
-	var bestTime int64
-	for v, t := range pl.touched[at.Level-1][at.Unit] {
-		if pinned[v] {
+// chooseVictim returns the unit's eviction-preference minimum that is not
+// pinned: the heap root in the common case, otherwise the first unpinned
+// entry in heap order (pinned entries are popped into a small stash and
+// pushed back).
+func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
+	h := pl.unit(at)
+	if v, ok := h.peekMin(); ok && !pinned.has(v) {
+		return v, nil
+	}
+	stV, stT := pl.stashV[:0], pl.stashT[:0]
+	victim := cdag.InvalidVertex
+	var victimT int64
+	for h.size() > 0 {
+		v, t := h.popMin(pl.dead)
+		if pinned.has(v) {
+			stV = append(stV, v)
+			stT = append(stT, t)
 			continue
 		}
-		dead := !pl.valueMatters(v) || len(pl.game.Locations(v)) > 1 || pl.game.HasBlue(v)
-		// Prefer dead values, then the least recently touched, and break the
-		// remaining ties by vertex ID so eviction is deterministic despite
-		// the map iteration order.
-		if best == cdag.InvalidVertex ||
-			(dead && !bestDead) ||
-			(dead == bestDead && (t < bestTime || (t == bestTime && v < best))) {
-			best, bestDead, bestTime = v, dead, t
-		}
+		victim, victimT = v, t
+		break
 	}
-	if best == cdag.InvalidVertex {
+	if victim != cdag.InvalidVertex {
+		h.update(victim, victimT, pl.dead)
+	}
+	for k := range stV {
+		h.update(stV[k], stT[k], pl.dead)
+	}
+	pl.stashV, pl.stashT = stV, stT
+	if victim == cdag.InvalidVertex {
 		return cdag.InvalidVertex, &PlayError{
 			Reason: fmt.Sprintf("storage unit %v full with pinned values (capacity %d too small)",
 				at, pl.topo.Capacity(at.Level))}
 	}
-	return best, nil
+	return victim, nil
 }
 
 // evict removes v from the unit, first copying it toward memory when it is
 // the last live copy of a value that still matters.  The pinned set is
 // propagated so that values protected by an in-flight fetch are never
 // displaced from the path while making room for the copy.
-func (pl *player) evict(at Loc, v cdag.VertexID, pinned map[cdag.VertexID]bool) error {
-	needsCopy := pl.valueMatters(v) && len(pl.game.Locations(v)) == 1 && !pl.game.HasBlue(v)
-	if needsCopy {
+func (pl *player) evict(at Loc, v cdag.VertexID, pinned pinSet) error {
+	if !pl.dead[v] {
 		if at.Level == pl.topo.NumLevels() {
 			// Push to the backing store.
 			if err := pl.game.Output(at.Unit, v); err != nil {
 				return err
 			}
+			pl.refreshDead(v)
 		} else {
 			parent := Loc{Level: at.Level + 1, Unit: pl.topo.Parent(at.Level, at.Unit)}
 			if !pl.game.HasPebbleAt(v, parent) {
@@ -305,6 +410,7 @@ func (pl *player) evict(at Loc, v cdag.VertexID, pinned map[cdag.VertexID]bool) 
 					return err
 				}
 				pl.touch(parent, v)
+				pl.refreshDead(v)
 			}
 		}
 	}
@@ -312,6 +418,7 @@ func (pl *player) evict(at Loc, v cdag.VertexID, pinned map[cdag.VertexID]bool) 
 		return err
 	}
 	pl.untouch(at, v)
+	pl.refreshDead(v)
 	return nil
 }
 
@@ -321,7 +428,7 @@ func (pl *player) evict(at Loc, v cdag.VertexID, pinned map[cdag.VertexID]bool) 
 // value u itself is protected from eviction while the fetch is in flight, in
 // addition to the caller's pinned set (the predecessors already resident in
 // the registers).
-func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, pinned map[cdag.VertexID]bool) error {
+func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, stepPins pinSet) error {
 	L := pl.topo.NumLevels()
 	regs := Loc{Level: 1, Unit: proc}
 	if pl.game.HasPebbleAt(u, regs) {
@@ -330,12 +437,8 @@ func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, pinned map[cdag.Ve
 	}
 	// Protect u along the whole path; at level 1 additionally protect the
 	// other already-fetched predecessors.
-	protect := map[cdag.VertexID]bool{u: true}
-	level1Pin := make(map[cdag.VertexID]bool, len(pinned)+1)
-	for v := range pinned {
-		level1Pin[v] = true
-	}
-	level1Pin[u] = true
+	protect := pinSet{extra: u}
+	level1Pin := pinSet{stamps: stepPins.stamps, epoch: stepPins.epoch, extra: u}
 
 	// Find the lowest level on the path already holding the value.
 	found := 0
@@ -350,25 +453,14 @@ func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, pinned map[cdag.Ve
 		node := pl.topo.NodeOf(proc)
 		memLoc := Loc{Level: L, Unit: node}
 		// Locate (or create) a level-L copy of u somewhere in the machine.
-		srcNode := -1
-		for _, loc := range pl.game.Locations(u) {
-			if loc.Level == L {
-				srcNode = loc.Unit
-				break
-			}
-		}
+		srcNode := pl.levelLNode(u)
 		if srcNode < 0 && !pl.game.HasBlue(u) {
 			// The value only lives in caches/registers off the path: push it
 			// up to the main memory of the node that holds it.
 			if err := pl.raiseToNodeMemory(u, protect); err != nil {
 				return err
 			}
-			for _, loc := range pl.game.Locations(u) {
-				if loc.Level == L {
-					srcNode = loc.Unit
-					break
-				}
-			}
+			srcNode = pl.levelLNode(u)
 		}
 		if srcNode != node {
 			if err := pl.ensureCapacity(memLoc, protect); err != nil {
@@ -388,6 +480,7 @@ func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, pinned map[cdag.Ve
 			}
 		}
 		pl.touch(memLoc, u)
+		pl.refreshDead(u)
 		found = L
 	}
 	// Walk the value down the path toward the registers.
@@ -408,14 +501,26 @@ func (pl *player) fetchToRegisters(u cdag.VertexID, proc int, pinned map[cdag.Ve
 			return err
 		}
 		pl.touch(at, u)
+		pl.refreshDead(u)
 	}
 	return nil
+}
+
+// levelLNode returns the node whose main memory holds a pebble of u, or −1.
+func (pl *player) levelLNode(u cdag.VertexID) int {
+	L := pl.topo.NumLevels()
+	for _, loc := range pl.game.Locations(u) {
+		if loc.Level == L {
+			return loc.Unit
+		}
+	}
+	return -1
 }
 
 // raiseToNodeMemory pushes some existing pebble of u up to the main memory of
 // the node that holds it, so that it can be remote-fetched or walked down the
 // requesting processor's path.
-func (pl *player) raiseToNodeMemory(u cdag.VertexID, pinned map[cdag.VertexID]bool) error {
+func (pl *player) raiseToNodeMemory(u cdag.VertexID, pinned pinSet) error {
 	locs := pl.game.Locations(u)
 	if len(locs) == 0 {
 		return &PlayError{Reason: fmt.Sprintf("value of vertex %d lost (no pebble, no blue)", u)}
@@ -439,6 +544,7 @@ func (pl *player) raiseToNodeMemory(u cdag.VertexID, pinned map[cdag.VertexID]bo
 				return err
 			}
 			pl.touch(parent, u)
+			pl.refreshDead(u)
 		}
 		cur = parent
 	}
@@ -457,31 +563,28 @@ func (pl *player) finalize() error {
 		if len(pl.game.Locations(v)) == 0 {
 			return &PlayError{Reason: fmt.Sprintf("output %d lost before final store", v)}
 		}
-		if err := pl.raiseToNodeMemory(v, map[cdag.VertexID]bool{v: true}); err != nil {
+		if err := pl.raiseToNodeMemory(v, pinSet{extra: v}); err != nil {
 			return err
 		}
-		var node int = -1
-		for _, loc := range pl.game.Locations(v) {
-			if loc.Level == L {
-				node = loc.Unit
-				break
-			}
-		}
+		node := pl.levelLNode(v)
 		if node < 0 {
 			return &PlayError{Reason: fmt.Sprintf("output %d could not reach node memory", v)}
 		}
 		if err := pl.game.Output(node, v); err != nil {
 			return err
 		}
+		pl.refreshDead(v)
 	}
 	for _, v := range pl.g.Inputs() {
 		if pl.game.HasWhite(v) {
 			continue
 		}
 		memLoc := Loc{Level: L, Unit: 0}
-		if err := pl.ensureCapacity(memLoc, nil); err != nil {
+		if err := pl.ensureCapacity(memLoc, noPins()); err != nil {
 			return err
 		}
+		// The transient load-and-discard never enters the recency heap,
+		// mirroring the reference player.
 		if err := pl.game.Input(0, v); err != nil {
 			return err
 		}

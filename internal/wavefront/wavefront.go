@@ -99,9 +99,22 @@ func MinWavefrontAt(g *cdag.Graph, x cdag.VertexID) int {
 
 // WMax returns a lower bound on w^max_G = max_x |W^min_G(x)| over the given
 // candidate vertices (all vertices when candidates is nil), along with a
-// vertex attaining it.
+// vertex attaining it.  It runs on the parallel pruned search engine with
+// default options; use WMaxOpts to control concurrency and pruning.
 func WMax(g *cdag.Graph, candidates []cdag.VertexID) (int, cdag.VertexID) {
 	return graphalg.MaxMinWavefrontLowerBound(g, candidates)
+}
+
+// WMaxOptions configures the WMaxOpts search engine.
+type WMaxOptions = graphalg.WMaxOptions
+
+// WMaxOpts is WMax with explicit search options: a bounded worker pool over
+// the candidates (Concurrency ≤ 0 selects GOMAXPROCS) with per-worker
+// reusable max-flow scratch and cheap upper-bound pruning.  The result —
+// bound value and witness vertex — is always identical to the serial
+// all-candidates scan, independent of worker count.
+func WMaxOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
+	return graphalg.MaxMinWavefrontLowerBoundOpts(g, candidates, opts)
 }
 
 // Lemma2Bound returns the I/O lower bound of Lemma 2: 2·(wmax − S), never

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Run the full benchmark suite once and record the results as BENCH_<n>.json
+# in the repo root, so the performance trajectory of the project is tracked
+# PR by PR.  The per-benchmark iteration budget defaults to 1x; override it
+# with `scripts/bench.sh --benchtime 5x`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+benchtime="1x"
+if [ "${1:-}" = "--benchtime" ] && [ -n "${2:-}" ]; then
+	benchtime="$2"
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchtime "$benchtime" -benchmem ./... | tee "$raw"
+
+# Emit one JSON object: metadata plus every benchmark line parsed into
+# {name, iterations, ns_per_op, extra metrics}.
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1
+			iters = $2
+			ns = ""
+			metrics = ""
+			for (i = 3; i < NF; i += 2) {
+				val = $i
+				unit = $(i + 1)
+				if (unit == "ns/op") { ns = val; continue }
+				gsub(/"/, "", unit)
+				metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), unit, val)
+			}
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+			if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+			if (metrics != "") line = line sprintf(", \"metrics\": {%s}", metrics)
+			line = line "}"
+			lines[++count] = line
+		}
+		END {
+			for (i = 1; i <= count; i++)
+				printf "%s%s\n", lines[i], (i < count ? "," : "")
+		}
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > "$out"
+
+echo "wrote $out"
