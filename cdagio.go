@@ -161,6 +161,19 @@ func SimulateMemory(g *Graph, cfg memsim.Config, order []VertexID, owner []int) 
 	return memsim.Run(g, cfg, order, owner)
 }
 
+// MemorySweepJob is one simulation of a sweep: a machine configuration, a
+// schedule and an optional vertex→node assignment against a shared graph.
+type MemorySweepJob = memsim.Job
+
+// SimulateMemorySweep runs the jobs over a bounded worker pool (workers ≤ 0
+// selects GOMAXPROCS) and returns one Stats per job, in job order.  The
+// results are deterministically identical to calling SimulateMemory on each
+// job serially, for every worker count.  The per-S tightness sweeps and
+// per-schedule ablations of Section 5.4 run on this engine.
+func SimulateMemorySweep(g *Graph, jobs []MemorySweepJob, workers int) ([]*memsim.Stats, error) {
+	return memsim.Sweep(g, jobs, workers)
+}
+
 // --- Schedules ----------------------------------------------------------------
 
 // Scheduling helpers.

@@ -21,8 +21,43 @@
 // and friends, which implement the relabeling used by the tagging/untagging
 // theorem).
 //
-// Graphs are built either through the incremental Builder-style methods
-// (NewGraph, AddVertex, AddEdge) or by the generators in package gen and the
-// tracer in package trace.  Vertex identifiers are dense small integers,
-// which keeps the pebble-game engines and graph algorithms allocation-light.
+// # Staged-then-frozen lifecycle
+//
+// A Graph passes through two representations:
+//
+//   - While being built (NewGraph, AddVertex/AddVertices/AddVertexBytes,
+//     AddEdge, the generators in package gen and the tracer in package
+//     trace), edges live in a single append-only staging buffer.  AddEdge is
+//     a constant-time append: no per-edge duplicate scan, no per-vertex
+//     allocation.  ReserveEdges pre-sizes the buffer when the edge count is
+//     known.
+//   - The first adjacency query — or an explicit Freeze or Materialize call —
+//     compiles the staged edges into compressed-sparse-row (CSR) form: four
+//     flat arrays (successor offsets + values, predecessor offsets + values,
+//     one backing allocation each), built in O(V+E) by a stable counting-sort
+//     scatter with per-row dedup.  Succ(v) and Pred(v) return subslices of
+//     the flat arrays, so traversal is cache-linear and allocation-free.
+//
+// Invariants of the compiled form: vertex identifiers are dense small
+// integers 0..n-1 in insertion order; adjacency lists are duplicate-free and
+// hold their targets in first-insertion order (exactly the order the
+// historical slice-of-slices representation produced, so traversal-derived
+// schedules, bounds and I/O statistics are bit-identical across the
+// representations — see the equivalence tests in csr_test.go); SortAdjacency
+// optionally normalizes the lists to increasing vertex order.
+//
+// Mutating a compiled graph is permitted while it is not frozen: the staging
+// buffer is reconstituted from the CSR arrays and the next query recompiles.
+// This keeps interleaved build/query code working, but costs O(V+E) per
+// recompilation — batch mutations, or Freeze the graph to make accidental
+// structural mutation a panic.  Generators hand out frozen graphs.  Freezing
+// locks vertices, edges and labels only: input/output tag flips stay legal on
+// frozen graphs, because the Theorem 3 relabeling operates on finished CDAGs
+// and tags never enter the compiled adjacency.
+//
+// Concurrency: a Graph is not safe for concurrent mutation, and the lazy
+// compilation is not synchronized either — call Freeze or Materialize (or
+// perform any adjacency query) after the last mutation before sharing a
+// graph across goroutines.  The parallel engines (graphalg's w^max search,
+// memsim's sweep pool) materialize up front for exactly this reason.
 package cdag

@@ -49,7 +49,7 @@ func (g *Graph) WriteDOT(w io.Writer, opt DOTOptions) error {
 		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", v, label, shape)
 	}
 	for v := 0; v < limit; v++ {
-		for _, w2 := range g.succ[v] {
+		for _, w2 := range g.Succ(VertexID(v)) {
 			if int(w2) < limit {
 				fmt.Fprintf(&b, "  n%d -> n%d;\n", v, w2)
 			}

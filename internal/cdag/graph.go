@@ -3,6 +3,7 @@ package cdag
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -16,22 +17,56 @@ const InvalidVertex VertexID = -1
 // Graph is a computational DAG (CDAG).  The zero value is an empty graph
 // ready for use; NewGraph is provided for symmetry and to pre-size storage.
 //
+// The graph has two internal states.  While being built it stages edges in a
+// single append-only buffer, so AddEdge is a constant-time append with no
+// duplicate scan.  The first adjacency query (or an explicit Materialize or
+// Freeze call) compiles the staged edges into a compressed-sparse-row (CSR)
+// form: four flat arrays (successor offsets and values, predecessor offsets
+// and values), each one backing allocation, built in O(V+E) by a stable
+// counting-sort scatter with per-row dedup.  Succ and Pred return subslices
+// of the flat arrays, so traversal is cache-linear and allocation-free.
+// Adjacency order is preserved exactly as with per-vertex append lists: each
+// list holds the edge targets in first-insertion order with duplicates
+// dropped, so schedules and bounds derived from traversal order are
+// bit-identical to the historical slice-of-slices representation.
+//
 // Graph is not safe for concurrent mutation.  Concurrent read-only use is
-// safe once construction is complete.
+// safe once the graph is materialized: call Freeze or Materialize (or any
+// adjacency accessor) after the last mutation and before sharing the graph
+// across goroutines.
 type Graph struct {
 	name string
 
-	succ [][]VertexID // succ[v] = successors of v, in insertion order
-	pred [][]VertexID // pred[v] = predecessors of v, in insertion order
+	n int // |V|
 
-	label  []string // optional human-readable label per vertex
-	input  []bool   // input tag per vertex
-	output []bool   // output tag per vertex
+	// Labels are stored flat: labelBuf holds the concatenated label bytes and
+	// labelEnd[v] the end offset of v's label (its start is labelEnd[v-1]).
+	// SetLabel rewrites go to the sparse override map so the flat buffer stays
+	// append-only.
+	labelBuf      []byte
+	labelEnd      []int32
+	labelOverride map[VertexID]string
+
+	input  []bool // input tag per vertex
+	output []bool // output tag per vertex
 
 	nInputs  int
 	nOutputs int
-	nEdges   int
 
+	// Staged edges, in AddEdge call order, possibly with duplicates.  The
+	// buffer is released when the CSR form is materialized and reconstituted
+	// from it if the graph is mutated again afterwards.
+	eu, ev []VertexID
+
+	// CSR adjacency, valid when dirty is false.  succOff and predOff have
+	// n+1 entries; Succ(v) is succVal[succOff[v]:succOff[v+1]].
+	succOff []int64
+	succVal []VertexID
+	predOff []int64
+	predVal []VertexID
+	nEdges  int
+
+	dirty  bool // staged mutations not yet compiled into the CSR arrays
 	frozen bool
 }
 
@@ -40,9 +75,8 @@ type Graph struct {
 func NewGraph(name string, hint int) *Graph {
 	g := &Graph{name: name}
 	if hint > 0 {
-		g.succ = make([][]VertexID, 0, hint)
-		g.pred = make([][]VertexID, 0, hint)
-		g.label = make([]string, 0, hint)
+		g.labelEnd = make([]int32, 0, hint)
+		g.labelBuf = make([]byte, 0, 8*hint)
 		g.input = make([]bool, 0, hint)
 		g.output = make([]bool, 0, hint)
 	}
@@ -56,10 +90,10 @@ func (g *Graph) Name() string { return g.name }
 func (g *Graph) SetName(name string) { g.name = name }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.succ) }
+func (g *Graph) NumVertices() int { return g.n }
 
-// NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return g.nEdges }
+// NumEdges returns |E| (duplicates staged by AddEdge count once).
+func (g *Graph) NumEdges() int { g.ensure(); return g.nEdges }
 
 // NumInputs returns |I|, the number of vertices tagged as inputs.
 func (g *Graph) NumInputs() int { return g.nInputs }
@@ -68,14 +102,28 @@ func (g *Graph) NumInputs() int { return g.nInputs }
 func (g *Graph) NumOutputs() int { return g.nOutputs }
 
 // NumOperations returns |V| − |I|, the number of compute (non-input) vertices.
-func (g *Graph) NumOperations() int { return g.NumVertices() - g.nInputs }
+func (g *Graph) NumOperations() int { return g.n - g.nInputs }
 
-// Freeze marks the graph immutable.  Subsequent mutations panic.  Freezing is
-// optional; it exists to catch accidental modification of shared graphs.
-func (g *Graph) Freeze() { g.frozen = true }
+// Freeze compiles any staged edges into the CSR arrays and locks the
+// graph's structure: subsequent vertex, edge or label mutations panic.
+// Input/output tag flips (TagInput, UntagInput and friends) remain legal —
+// the tagging/untagging relabeling of Theorem 3 operates on finished graphs
+// and never affects the compiled adjacency.  Freezing is how the generators
+// hand out finished graphs: a frozen graph is safe for concurrent read-only
+// use and its adjacency can never be invalidated by accident.
+func (g *Graph) Freeze() {
+	g.ensure()
+	g.frozen = true
+}
 
 // Frozen reports whether the graph has been frozen.
 func (g *Graph) Frozen() bool { return g.frozen }
+
+// Materialize compiles any staged edges into the CSR arrays without freezing
+// the graph.  It is idempotent and cheap when nothing is staged.  Call it (or
+// Freeze) before sharing a graph across goroutines, since the otherwise lazy
+// compilation is not synchronized.
+func (g *Graph) Materialize() { g.ensure() }
 
 func (g *Graph) mutable() {
 	if g.frozen {
@@ -83,21 +131,233 @@ func (g *Graph) mutable() {
 	}
 }
 
-// AddVertex appends a new vertex with the given label and returns its ID.
-func (g *Graph) AddVertex(label string) VertexID {
+// stage prepares the graph for a structural mutation: it marks the CSR arrays
+// stale and, if the staging buffer was released by a previous
+// materialization, rebuilds it from the CSR arrays.
+func (g *Graph) stage() {
+	g.reconstitute()
+	g.dirty = true
+}
+
+// reconstitute rebuilds the staging buffer from the CSR arrays after it was
+// released by a materialization.  The rebuilt sequence must project onto both
+// the successor-row and predecessor-row orders (a plain source-major walk
+// would preserve succ rows but reorder pred rows); any interleaving
+// consistent with both is observationally equivalent to the original AddEdge
+// sequence, and one always exists because the rows are projections of such a
+// sequence.  The two-queue merge below finds one in O(V+E): an edge (u,w) is
+// ready when it is at the front of both u's remaining succ row and w's
+// remaining pred row, and emitting a ready edge can only unblock others.
+func (g *Graph) reconstitute() {
+	if g.dirty || g.eu != nil || g.nEdges == 0 {
+		return
+	}
+	n := g.n
+	g.eu = make([]VertexID, 0, g.nEdges)
+	g.ev = make([]VertexID, 0, g.nEdges)
+	sPtr := make([]int64, n)
+	pPtr := make([]int64, n)
+	copy(sPtr, g.succOff[:n])
+	copy(pPtr, g.predOff[:n])
+	work := make([]VertexID, 0, n)
+	for u := n - 1; u >= 0; u-- {
+		if g.succOff[u+1] > g.succOff[u] {
+			work = append(work, VertexID(u))
+		}
+	}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		for sPtr[u] < g.succOff[u+1] {
+			w := g.succVal[sPtr[u]]
+			if g.predVal[pPtr[w]] != u {
+				// u's next edge is blocked behind another predecessor of w;
+				// u is re-queued when it reaches the front of w's pred row.
+				break
+			}
+			g.eu = append(g.eu, u)
+			g.ev = append(g.ev, w)
+			sPtr[u]++
+			pPtr[w]++
+			if pPtr[w] < g.predOff[w+1] {
+				next := g.predVal[pPtr[w]]
+				if next != u && sPtr[next] < g.succOff[next+1] && g.succVal[sPtr[next]] == w {
+					work = append(work, next)
+				}
+			}
+		}
+	}
+}
+
+// ensure materializes the CSR arrays if staged mutations are pending.
+func (g *Graph) ensure() {
+	if g.dirty {
+		g.materialize()
+	}
+}
+
+// materialize compiles the staged edge buffer into the four flat CSR arrays:
+// a counting sort by source vertex (stable, so each successor list keeps its
+// first-insertion order), an O(V+E) per-row dedup, and a second stable
+// counting sort of the kept edges by target vertex for the predecessor lists
+// (iterated in original AddEdge order, so predecessor lists too match the
+// historical append-list order exactly).  The staging buffer is released
+// afterwards; a later mutation reconstitutes it from the CSR arrays.
+func (g *Graph) materialize() {
+	n := g.n
+	ne := len(g.eu)
+	if ne > math.MaxInt32 {
+		// idxByU below indexes staged edges with int32; refuse loudly rather
+		// than corrupt the scatter.  2^31 staged edges is ~17 GB of buffer,
+		// far beyond the representation's design point.
+		panic("cdag: more than 2^31-1 staged edges")
+	}
+
+	if cap(g.succOff) >= n+1 {
+		g.succOff = g.succOff[:n+1]
+		for i := range g.succOff {
+			g.succOff[i] = 0
+		}
+	} else {
+		g.succOff = make([]int64, n+1)
+	}
+	for _, u := range g.eu {
+		g.succOff[u+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.succOff[v+1] += g.succOff[v]
+	}
+
+	// Stable scatter of the staged edge indices into per-source buckets.
+	idxByU := make([]int32, ne)
+	cursor := make([]int64, n)
+	copy(cursor, g.succOff[:n])
+	for i, u := range g.eu {
+		idxByU[cursor[u]] = int32(i)
+		cursor[u]++
+	}
+
+	// Per-row dedup, compacting the successor values in place.  stamp[w] == u
+	// marks "w already seen as a successor of u" (rows are processed in
+	// increasing u, so no reset is needed).  kept[i] records whether staged
+	// edge i survived, for the predecessor pass below.
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var kept []bool
+	if ne > 0 {
+		kept = make([]bool, ne)
+	}
+	succVal := make([]VertexID, ne)
+	written := int64(0)
+	for u := 0; u < n; u++ {
+		start := written
+		for _, idx := range idxByU[g.succOff[u]:g.succOff[u+1]] {
+			w := g.ev[idx]
+			if stamp[w] == int32(u) {
+				continue
+			}
+			stamp[w] = int32(u)
+			kept[idx] = true
+			succVal[written] = w
+			written++
+		}
+		g.succOff[u] = start
+	}
+	if n > 0 {
+		g.succOff[n] = written
+	}
+	g.succVal = succVal[:written]
+	g.nEdges = int(written)
+
+	// Predecessor CSR over the kept edges, scattered in AddEdge call order.
+	if cap(g.predOff) >= n+1 {
+		g.predOff = g.predOff[:n+1]
+		for i := range g.predOff {
+			g.predOff[i] = 0
+		}
+	} else {
+		g.predOff = make([]int64, n+1)
+	}
+	for i, v := range g.ev {
+		if kept[i] {
+			g.predOff[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.predOff[v+1] += g.predOff[v]
+	}
+	predVal := make([]VertexID, written)
+	copy(cursor, g.predOff[:n])
+	for i, v := range g.ev {
+		if kept[i] {
+			predVal[cursor[v]] = g.eu[i]
+			cursor[v]++
+		}
+	}
+	g.predVal = predVal
+
+	g.eu, g.ev = nil, nil
+	g.dirty = false
+}
+
+// ReserveEdges pre-sizes the staging buffer for m additional edges, so bulk
+// generators can stage all edges with a single allocation.
+func (g *Graph) ReserveEdges(m int) {
 	g.mutable()
-	id := VertexID(len(g.succ))
-	g.succ = append(g.succ, nil)
-	g.pred = append(g.pred, nil)
-	g.label = append(g.label, label)
+	if m <= 0 {
+		return
+	}
+	// Rebuild the released buffer first: growing a fresh empty buffer here
+	// would make it look live and the compiled edges would be lost.
+	g.reconstitute()
+	if need := len(g.eu) + m; cap(g.eu) < need {
+		eu := make([]VertexID, len(g.eu), need)
+		copy(eu, g.eu)
+		g.eu = eu
+		ev := make([]VertexID, len(g.ev), need)
+		copy(ev, g.ev)
+		g.ev = ev
+	}
+}
+
+// addVertex is the shared vertex-append path behind AddVertex and
+// AddVertexBytes; the label bytes are copied into the flat label storage.
+func addVertex[L string | []byte](g *Graph, label L) VertexID {
+	g.mutable()
+	g.stage()
+	if len(g.labelBuf)+len(label) > math.MaxInt32 {
+		// labelEnd stores int32 offsets; refuse loudly rather than wrap.
+		panic("cdag: flat label storage exceeds 2 GiB")
+	}
+	id := VertexID(g.n)
+	g.n++
+	g.labelBuf = append(g.labelBuf, label...)
+	g.labelEnd = append(g.labelEnd, int32(len(g.labelBuf)))
 	g.input = append(g.input, false)
 	g.output = append(g.output, false)
 	return id
 }
 
+// AddVertex appends a new vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(label string) VertexID { return addVertex(g, label) }
+
+// AddVertexBytes is AddVertex for callers that format labels into a reusable
+// byte buffer: the label bytes are copied into the graph's flat label storage
+// without an intermediate string allocation.
+func (g *Graph) AddVertexBytes(label []byte) VertexID { return addVertex(g, label) }
+
 // AddInput appends a new vertex tagged as an input and returns its ID.
 func (g *Graph) AddInput(label string) VertexID {
 	v := g.AddVertex(label)
+	g.TagInput(v)
+	return v
+}
+
+// AddInputBytes is AddInput with the label passed as bytes (see AddVertexBytes).
+func (g *Graph) AddInputBytes(label []byte) VertexID {
+	v := g.AddVertexBytes(label)
 	g.TagInput(v)
 	return v
 }
@@ -113,27 +373,33 @@ func (g *Graph) AddOutput(label string) VertexID {
 // The new vertices are first, first+1, ..., first+n-1.
 func (g *Graph) AddVertices(n int) VertexID {
 	g.mutable()
-	first := VertexID(len(g.succ))
+	g.stage()
+	first := VertexID(g.n)
+	end := int32(len(g.labelBuf))
 	for i := 0; i < n; i++ {
-		g.AddVertex("")
+		g.labelEnd = append(g.labelEnd, end)
 	}
+	g.input = append(g.input, make([]bool, n)...)
+	g.output = append(g.output, make([]bool, n)...)
+	g.n += n
 	return first
 }
 
 // ValidVertex reports whether v names a vertex of g.
 func (g *Graph) ValidVertex(v VertexID) bool {
-	return v >= 0 && int(v) < len(g.succ)
+	return v >= 0 && int(v) < g.n
 }
 
 func (g *Graph) checkVertex(v VertexID) {
 	if !g.ValidVertex(v) {
-		panic(fmt.Sprintf("cdag: vertex %d out of range [0,%d)", v, len(g.succ)))
+		panic(fmt.Sprintf("cdag: vertex %d out of range [0,%d)", v, g.n))
 	}
 }
 
-// AddEdge adds the directed edge u→v.  Duplicate edges are ignored (the CDAG
-// model carries no multiplicity).  Self-loops are rejected with a panic since
-// they would make the graph cyclic.
+// AddEdge stages the directed edge u→v: a constant-time append to the edge
+// buffer.  Duplicate edges are dropped when the graph is materialized (the
+// CDAG model carries no multiplicity).  Self-loops are rejected with a panic
+// since they would make the graph cyclic.
 func (g *Graph) AddEdge(u, v VertexID) {
 	g.mutable()
 	g.checkVertex(u)
@@ -141,14 +407,9 @@ func (g *Graph) AddEdge(u, v VertexID) {
 	if u == v {
 		panic(fmt.Sprintf("cdag: self-loop on vertex %d", u))
 	}
-	for _, w := range g.succ[u] {
-		if w == v {
-			return
-		}
-	}
-	g.succ[u] = append(g.succ[u], v)
-	g.pred[v] = append(g.pred[v], u)
-	g.nEdges++
+	g.stage()
+	g.eu = append(g.eu, u)
+	g.ev = append(g.ev, v)
 }
 
 // HasEdge reports whether the edge u→v is present.
@@ -156,7 +417,7 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 	if !g.ValidVertex(u) || !g.ValidVertex(v) {
 		return false
 	}
-	for _, w := range g.succ[u] {
+	for _, w := range g.Succ(u) {
 		if w == v {
 			return true
 		}
@@ -164,34 +425,65 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 	return false
 }
 
-// Successors returns the successors of v.  The returned slice is owned by the
-// graph and must not be modified.
-func (g *Graph) Successors(v VertexID) []VertexID {
+// Succ returns the successors of v as a subslice of the graph's flat CSR
+// array, in first-insertion order.  The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Succ(v VertexID) []VertexID {
+	g.ensure()
 	g.checkVertex(v)
-	return g.succ[v]
+	return g.succVal[g.succOff[v]:g.succOff[v+1]]
 }
 
-// Predecessors returns the predecessors of v.  The returned slice is owned by
-// the graph and must not be modified.
-func (g *Graph) Predecessors(v VertexID) []VertexID {
+// Pred returns the predecessors of v as a subslice of the graph's flat CSR
+// array, in first-insertion order.  The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Pred(v VertexID) []VertexID {
+	g.ensure()
 	g.checkVertex(v)
-	return g.pred[v]
+	return g.predVal[g.predOff[v]:g.predOff[v+1]]
 }
+
+// Successors returns the successors of v.  Deprecated alias for Succ.
+func (g *Graph) Successors(v VertexID) []VertexID { return g.Succ(v) }
+
+// Predecessors returns the predecessors of v.  Deprecated alias for Pred.
+func (g *Graph) Predecessors(v VertexID) []VertexID { return g.Pred(v) }
 
 // OutDegree returns the number of successors of v.
-func (g *Graph) OutDegree(v VertexID) int { g.checkVertex(v); return len(g.succ[v]) }
+func (g *Graph) OutDegree(v VertexID) int {
+	g.ensure()
+	g.checkVertex(v)
+	return int(g.succOff[v+1] - g.succOff[v])
+}
 
 // InDegree returns the number of predecessors of v.
-func (g *Graph) InDegree(v VertexID) int { g.checkVertex(v); return len(g.pred[v]) }
+func (g *Graph) InDegree(v VertexID) int {
+	g.ensure()
+	g.checkVertex(v)
+	return int(g.predOff[v+1] - g.predOff[v])
+}
 
 // Label returns the label of v (possibly empty).
-func (g *Graph) Label(v VertexID) string { g.checkVertex(v); return g.label[v] }
+func (g *Graph) Label(v VertexID) string {
+	g.checkVertex(v)
+	if l, ok := g.labelOverride[v]; ok {
+		return l
+	}
+	start := int32(0)
+	if v > 0 {
+		start = g.labelEnd[v-1]
+	}
+	return string(g.labelBuf[start:g.labelEnd[v]])
+}
 
 // SetLabel sets the label of v.
 func (g *Graph) SetLabel(v VertexID, label string) {
 	g.mutable()
 	g.checkVertex(v)
-	g.label[v] = label
+	if g.labelOverride == nil {
+		g.labelOverride = make(map[VertexID]string)
+	}
+	g.labelOverride[v] = label
 }
 
 // IsInput reports whether v is tagged as an input vertex.
@@ -202,7 +494,6 @@ func (g *Graph) IsOutput(v VertexID) bool { g.checkVertex(v); return g.output[v]
 
 // TagInput tags v as an input vertex (idempotent).
 func (g *Graph) TagInput(v VertexID) {
-	g.mutable()
 	g.checkVertex(v)
 	if !g.input[v] {
 		g.input[v] = true
@@ -213,7 +504,6 @@ func (g *Graph) TagInput(v VertexID) {
 // UntagInput removes the input tag from v (idempotent).  This implements the
 // vertex relabeling used by the tagging/untagging theorem (Theorem 3).
 func (g *Graph) UntagInput(v VertexID) {
-	g.mutable()
 	g.checkVertex(v)
 	if g.input[v] {
 		g.input[v] = false
@@ -223,7 +513,6 @@ func (g *Graph) UntagInput(v VertexID) {
 
 // TagOutput tags v as an output vertex (idempotent).
 func (g *Graph) TagOutput(v VertexID) {
-	g.mutable()
 	g.checkVertex(v)
 	if !g.output[v] {
 		g.output[v] = true
@@ -233,7 +522,6 @@ func (g *Graph) TagOutput(v VertexID) {
 
 // UntagOutput removes the output tag from v (idempotent).
 func (g *Graph) UntagOutput(v VertexID) {
-	g.mutable()
 	g.checkVertex(v)
 	if g.output[v] {
 		g.output[v] = false
@@ -265,9 +553,10 @@ func (g *Graph) Outputs() []VertexID {
 
 // Sources returns all vertices with no predecessors, in increasing order.
 func (g *Graph) Sources() []VertexID {
+	g.ensure()
 	var out []VertexID
-	for v := range g.pred {
-		if len(g.pred[v]) == 0 {
+	for v := 0; v < g.n; v++ {
+		if g.predOff[v+1] == g.predOff[v] {
 			out = append(out, VertexID(v))
 		}
 	}
@@ -276,9 +565,10 @@ func (g *Graph) Sources() []VertexID {
 
 // Sinks returns all vertices with no successors, in increasing order.
 func (g *Graph) Sinks() []VertexID {
+	g.ensure()
 	var out []VertexID
-	for v := range g.succ {
-		if len(g.succ[v]) == 0 {
+	for v := 0; v < g.n; v++ {
+		if g.succOff[v+1] == g.succOff[v] {
 			out = append(out, VertexID(v))
 		}
 	}
@@ -287,7 +577,7 @@ func (g *Graph) Sinks() []VertexID {
 
 // Vertices returns all vertex IDs, 0..n-1.
 func (g *Graph) Vertices() []VertexID {
-	out := make([]VertexID, g.NumVertices())
+	out := make([]VertexID, g.n)
 	for i := range out {
 		out[i] = VertexID(i)
 	}
@@ -311,22 +601,31 @@ func (g *Graph) TagHongKung() {
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		name:     g.name,
-		succ:     make([][]VertexID, len(g.succ)),
-		pred:     make([][]VertexID, len(g.pred)),
-		label:    append([]string(nil), g.label...),
+		n:        g.n,
+		labelBuf: append([]byte(nil), g.labelBuf...),
+		labelEnd: append([]int32(nil), g.labelEnd...),
 		input:    append([]bool(nil), g.input...),
 		output:   append([]bool(nil), g.output...),
 		nInputs:  g.nInputs,
 		nOutputs: g.nOutputs,
 		nEdges:   g.nEdges,
+		dirty:    g.dirty,
 	}
-	for v := range g.succ {
-		if len(g.succ[v]) > 0 {
-			c.succ[v] = append([]VertexID(nil), g.succ[v]...)
+	if g.labelOverride != nil {
+		c.labelOverride = make(map[VertexID]string, len(g.labelOverride))
+		for v, l := range g.labelOverride {
+			c.labelOverride[v] = l
 		}
-		if len(g.pred[v]) > 0 {
-			c.pred[v] = append([]VertexID(nil), g.pred[v]...)
-		}
+	}
+	if g.eu != nil {
+		c.eu = append([]VertexID(nil), g.eu...)
+		c.ev = append([]VertexID(nil), g.ev...)
+	}
+	if g.succOff != nil {
+		c.succOff = append([]int64(nil), g.succOff...)
+		c.succVal = append([]VertexID(nil), g.succVal...)
+		c.predOff = append([]int64(nil), g.predOff...)
+		c.predVal = append([]VertexID(nil), g.predVal...)
 	}
 	return c
 }
@@ -357,17 +656,17 @@ func (g *Graph) Validate(mode ValidateMode) error {
 	if _, err := g.TopoOrder(); err != nil {
 		return err
 	}
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := 0; v < g.n; v++ {
 		id := VertexID(v)
-		if g.input[v] && len(g.pred[v]) > 0 {
-			return fmt.Errorf("%w: vertex %d (%q)", ErrInputHasPred, id, g.label[v])
+		if g.input[v] && g.InDegree(id) > 0 {
+			return fmt.Errorf("%w: vertex %d (%q)", ErrInputHasPred, id, g.Label(id))
 		}
 		if mode == ValidateHongKung {
-			if !g.input[v] && len(g.pred[v]) == 0 {
-				return fmt.Errorf("%w: vertex %d (%q)", ErrOperationNoPred, id, g.label[v])
+			if !g.input[v] && g.InDegree(id) == 0 {
+				return fmt.Errorf("%w: vertex %d (%q)", ErrOperationNoPred, id, g.Label(id))
 			}
-			if !g.output[v] && len(g.succ[v]) == 0 {
-				return fmt.Errorf("%w: vertex %d (%q)", ErrSinkNotOutput, id, g.label[v])
+			if !g.output[v] && g.OutDegree(id) == 0 {
+				return fmt.Errorf("%w: vertex %d (%q)", ErrSinkNotOutput, id, g.Label(id))
 			}
 		}
 	}
@@ -386,8 +685,11 @@ func (g *Graph) String() string {
 // and benchmarks deterministic across generator refactorings.
 func (g *Graph) SortAdjacency() {
 	g.mutable()
-	for v := range g.succ {
-		sort.Slice(g.succ[v], func(i, j int) bool { return g.succ[v][i] < g.succ[v][j] })
-		sort.Slice(g.pred[v], func(i, j int) bool { return g.pred[v][i] < g.pred[v][j] })
+	g.ensure()
+	for v := 0; v < g.n; v++ {
+		row := g.succVal[g.succOff[v]:g.succOff[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		row = g.predVal[g.predOff[v]:g.predOff[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
 	}
 }

@@ -18,6 +18,7 @@ type jsonGraph struct {
 
 // MarshalJSON encodes the graph in a compact adjacency-list form.
 func (g *Graph) MarshalJSON() ([]byte, error) {
+	g.ensure()
 	jg := jsonGraph{
 		Name:     g.name,
 		Vertices: g.NumVertices(),
@@ -25,18 +26,20 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		Inputs:   make([]int32, 0, g.nInputs),
 		Outputs:  make([]int32, 0, g.nOutputs),
 	}
-	hasLabels := false
-	for _, l := range g.label {
+	hasLabels := len(g.labelBuf) > 0
+	for _, l := range g.labelOverride {
 		if l != "" {
 			hasLabels = true
-			break
 		}
 	}
 	if hasLabels {
-		jg.Labels = g.label
+		jg.Labels = make([]string, g.n)
+		for v := 0; v < g.n; v++ {
+			jg.Labels[v] = g.Label(VertexID(v))
+		}
 	}
 	for v := 0; v < g.NumVertices(); v++ {
-		for _, w := range g.succ[v] {
+		for _, w := range g.Succ(VertexID(v)) {
 			jg.Edges = append(jg.Edges, [2]int32{int32(v), int32(w)})
 		}
 		if g.input[v] {

@@ -146,7 +146,7 @@ func SortVertices(vs []VertexID) []VertexID {
 func In(g *Graph, s *VertexSet) *VertexSet {
 	in := NewVertexSet(g.NumVertices())
 	for _, v := range s.Elements() {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if !s.Contains(p) {
 				in.Add(p)
 			}
@@ -165,7 +165,7 @@ func Out(g *Graph, s *VertexSet) *VertexSet {
 			out.Add(v)
 			continue
 		}
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			if !s.Contains(w) {
 				out.Add(v)
 				break
@@ -182,7 +182,7 @@ func MinSet(g *Graph, s *VertexSet) *VertexSet {
 	out := NewVertexSet(g.NumVertices())
 	for _, v := range s.Elements() {
 		inMin := true
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			if s.Contains(w) {
 				inMin = false
 				break

@@ -40,7 +40,7 @@ func InducedSubgraph(g *Graph, s *VertexSet, name string) (*Graph, *SubgraphMapp
 	}
 	for _, p := range s.Elements() {
 		u := m.FromParent[p]
-		for _, q := range g.Successors(p) {
+		for _, q := range g.Succ(p) {
 			if w := m.FromParent[q]; w != InvalidVertex {
 				sub.AddEdge(u, w)
 			}

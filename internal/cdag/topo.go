@@ -6,10 +6,11 @@ import "fmt"
 // algorithm with a FIFO worklist, so the order is deterministic for a given
 // construction order).  It returns ErrCyclic if the graph contains a cycle.
 func (g *Graph) TopoOrder() ([]VertexID, error) {
-	n := g.NumVertices()
-	indeg := make([]int, n)
+	g.ensure()
+	n := g.n
+	indeg := make([]int32, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = len(g.pred[v])
+		indeg[v] = int32(g.predOff[v+1] - g.predOff[v])
 	}
 	queue := make([]VertexID, 0, n)
 	for v := 0; v < n; v++ {
@@ -22,7 +23,7 @@ func (g *Graph) TopoOrder() ([]VertexID, error) {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, w := range g.succ[v] {
+		for _, w := range g.succVal[g.succOff[v]:g.succOff[v+1]] {
 			indeg[w]--
 			if indeg[w] == 0 {
 				queue = append(queue, w)
@@ -62,9 +63,9 @@ func (g *Graph) Levels() (level []int, maxLevel int, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	level = make([]int, g.NumVertices())
+	level = make([]int, g.n)
 	for _, v := range order {
-		for _, p := range g.pred[v] {
+		for _, p := range g.predVal[g.predOff[v]:g.predOff[v+1]] {
 			if level[p]+1 > level[v] {
 				level[v] = level[p] + 1
 			}

@@ -15,13 +15,16 @@ func Chain(n int) *cdag.Graph {
 		panic("gen: Chain needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("chain-%d", n), n)
+	g.ReserveEdges(n - 1)
+	var lb lbuf
 	prev := g.AddInput("x0")
 	for i := 1; i < n; i++ {
-		v := g.AddVertex(fmt.Sprintf("x%d", i))
+		v := g.AddVertexBytes(lb.reset("x").int(i).bytes())
 		g.AddEdge(prev, v)
 		prev = v
 	}
 	g.TagOutput(prev)
+	g.Freeze()
 	return g
 }
 
@@ -32,15 +35,18 @@ func IndependentChains(k, n int) *cdag.Graph {
 		panic("gen: IndependentChains needs k, n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("chains-%dx%d", k, n), k*n)
+	g.ReserveEdges(k * (n - 1))
+	var lb lbuf
 	for c := 0; c < k; c++ {
-		prev := g.AddInput(fmt.Sprintf("c%d.x0", c))
+		prev := g.AddInputBytes(lb.reset("c").int(c).str(".x0").bytes())
 		for i := 1; i < n; i++ {
-			v := g.AddVertex(fmt.Sprintf("c%d.x%d", c, i))
+			v := g.AddVertexBytes(lb.reset("c").int(c).str(".x").int(i).bytes())
 			g.AddEdge(prev, v)
 			prev = v
 		}
 		g.TagOutput(prev)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -51,9 +57,11 @@ func ReductionTree(n int) *cdag.Graph {
 		panic("gen: ReductionTree needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("reduce-%d", n), 2*n)
+	g.ReserveEdges(2 * (n - 1))
+	var lb lbuf
 	level := make([]cdag.VertexID, n)
 	for i := range level {
-		level[i] = g.AddInput(fmt.Sprintf("in%d", i))
+		level[i] = g.AddInputBytes(lb.reset("in").int(i).bytes())
 	}
 	for len(level) > 1 {
 		var next []cdag.VertexID
@@ -70,6 +78,7 @@ func ReductionTree(n int) *cdag.Graph {
 		level = next
 	}
 	g.TagOutput(level[0])
+	g.Freeze()
 	return g
 }
 
@@ -80,11 +89,13 @@ func DotProduct(n int) *cdag.Graph {
 		panic("gen: DotProduct needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("dot-%d", n), 4*n)
+	g.ReserveEdges(4*n - 2)
+	var lb lbuf
 	mults := make([]cdag.VertexID, n)
 	for i := 0; i < n; i++ {
-		u := g.AddInput(fmt.Sprintf("u%d", i))
-		v := g.AddInput(fmt.Sprintf("v%d", i))
-		m := g.AddVertex(fmt.Sprintf("mul%d", i))
+		u := g.AddInputBytes(lb.reset("u").int(i).bytes())
+		v := g.AddInputBytes(lb.reset("v").int(i).bytes())
+		m := g.AddVertexBytes(lb.reset("mul").int(i).bytes())
 		g.AddEdge(u, m)
 		g.AddEdge(v, m)
 		mults[i] = m
@@ -105,6 +116,7 @@ func DotProduct(n int) *cdag.Graph {
 		level = next
 	}
 	g.TagOutput(level[0])
+	g.Freeze()
 	return g
 }
 
@@ -115,17 +127,21 @@ func Saxpy(n int) *cdag.Graph {
 		panic("gen: Saxpy needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("saxpy-%d", n), 4*n+1)
+	g.ReserveEdges(4 * n)
+	var lb lbuf
 	a := g.AddInput("a")
 	for i := 0; i < n; i++ {
-		x := g.AddInput(fmt.Sprintf("x%d", i))
-		y := g.AddInput(fmt.Sprintf("y%d", i))
-		m := g.AddVertex(fmt.Sprintf("mul%d", i))
+		x := g.AddInputBytes(lb.reset("x").int(i).bytes())
+		y := g.AddInputBytes(lb.reset("y").int(i).bytes())
+		m := g.AddVertexBytes(lb.reset("mul").int(i).bytes())
 		g.AddEdge(a, m)
 		g.AddEdge(x, m)
-		s := g.AddOutput(fmt.Sprintf("out%d", i))
+		s := g.AddVertexBytes(lb.reset("out").int(i).bytes())
+		g.TagOutput(s)
 		g.AddEdge(m, s)
 		g.AddEdge(y, s)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -138,20 +154,24 @@ func OuterProduct(n int) *cdag.Graph {
 		panic("gen: OuterProduct needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("outer-%d", n), 2*n+n*n)
+	g.ReserveEdges(2 * n * n)
+	var lb lbuf
 	us := make([]cdag.VertexID, n)
 	vs := make([]cdag.VertexID, n)
 	for i := 0; i < n; i++ {
-		us[i] = g.AddInput(fmt.Sprintf("u%d", i))
+		us[i] = g.AddInputBytes(lb.reset("u").int(i).bytes())
 	}
 	for j := 0; j < n; j++ {
-		vs[j] = g.AddInput(fmt.Sprintf("v%d", j))
+		vs[j] = g.AddInputBytes(lb.reset("v").int(j).bytes())
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			a := g.AddOutput(fmt.Sprintf("A[%d,%d]", i, j))
+			a := g.AddVertexBytes(lb.reset("A[").int(i).sep(',').int(j).sep(']').bytes())
+			g.TagOutput(a)
 			g.AddEdge(us[i], a)
 			g.AddEdge(vs[j], a)
 		}
 	}
+	g.Freeze()
 	return g
 }

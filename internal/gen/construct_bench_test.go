@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"cdagio/internal/cdag"
+)
+
+// seedSliceGraph replicates the seed's graph construction strategy — two
+// append-grown adjacency slices per vertex, a linear duplicate scan per
+// AddEdge, and fmt.Sprintf-built labels — so the construction benchmarks
+// compare the CSR core against the exact builder the seed shipped with.
+type seedSliceGraph struct {
+	succ   [][]cdag.VertexID
+	pred   [][]cdag.VertexID
+	label  []string
+	input  []bool
+	output []bool
+	nEdges int
+}
+
+func (s *seedSliceGraph) addVertex(label string) cdag.VertexID {
+	id := cdag.VertexID(len(s.succ))
+	s.succ = append(s.succ, nil)
+	s.pred = append(s.pred, nil)
+	s.label = append(s.label, label)
+	s.input = append(s.input, false)
+	s.output = append(s.output, false)
+	return id
+}
+
+func (s *seedSliceGraph) addEdge(u, v cdag.VertexID) {
+	for _, w := range s.succ[u] {
+		if w == v {
+			return
+		}
+	}
+	s.succ[u] = append(s.succ[u], v)
+	s.pred[v] = append(s.pred[v], u)
+	s.nEdges++
+}
+
+// seedMatMul is the seed's MatMul builder verbatim, on the seed graph
+// representation.
+func seedMatMul(n int) *seedSliceGraph {
+	g := &seedSliceGraph{}
+	a := make([][]cdag.VertexID, n)
+	b := make([][]cdag.VertexID, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]cdag.VertexID, n)
+		b[i] = make([]cdag.VertexID, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = g.addVertex(fmt.Sprintf("A[%d,%d]", i, j))
+			g.input[a[i][j]] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] = g.addVertex(fmt.Sprintf("B[%d,%d]", i, j))
+			g.input[b[i][j]] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc cdag.VertexID = cdag.InvalidVertex
+			for k := 0; k < n; k++ {
+				m := g.addVertex(fmt.Sprintf("mul[%d,%d,%d]", i, j, k))
+				g.addEdge(a[i][k], m)
+				g.addEdge(b[k][j], m)
+				if acc == cdag.InvalidVertex {
+					acc = m
+					continue
+				}
+				add := g.addVertex(fmt.Sprintf("add[%d,%d,%d]", i, j, k))
+				g.addEdge(acc, add)
+				g.addEdge(m, add)
+				acc = add
+			}
+			g.output[acc] = true
+		}
+	}
+	return g
+}
+
+// BenchmarkConstructMatMul32CSR measures building the matmul n=32 CDAG
+// (67,584 vertices, 129,024 edges) on the CSR core: bulk edge staging, flat
+// label storage and a counting-sort compile.
+func BenchmarkConstructMatMul32CSR(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := MatMul(32)
+		if r.Graph.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkConstructMatMul32Seed measures the seed builder on the same CDAG:
+// per-vertex adjacency slices, per-edge duplicate scans, fmt labels.
+func BenchmarkConstructMatMul32Seed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := seedMatMul(32)
+		if g.nEdges == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkConstructJacobi2D measures building a 266k-edge 2-D box stencil
+// sweep on the CSR core (the workload whose construction dominated the seed's
+// tightness benchmarks).
+func BenchmarkConstructJacobi2D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Jacobi(2, 64, 16, StencilBox)
+		if r.Graph.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkConstructJacobi1M builds the ≥1M-vertex stencil CDAG of the scale
+// test, demonstrating the ROADMAP's million-vertex construction target.
+func BenchmarkConstructJacobi1M(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Jacobi(2, 512, 3, StencilBox)
+		if r.Graph.NumVertices() < 1_000_000 {
+			b.Fatal("too small")
+		}
+	}
+}

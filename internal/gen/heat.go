@@ -42,21 +42,23 @@ func HeatEquation1D(n, steps int) *HeatResult {
 		panic("gen: HeatEquation1D needs steps >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("heat1d-%d-T%d", n, steps), n*(3*steps+1))
+	g.ReserveEdges(steps * (7*n - 4))
 	res := &HeatResult{Graph: g, N: n, Steps: steps,
 		U:       make([][]cdag.VertexID, steps+1),
 		RHS:     make([][]cdag.VertexID, steps),
 		Forward: make([][]cdag.VertexID, steps),
 	}
+	var lb lbuf
 	res.U[0] = make([]cdag.VertexID, n)
 	for i := 0; i < n; i++ {
-		res.U[0][i] = g.AddInput(fmt.Sprintf("u0[%d]", i))
+		res.U[0][i] = g.AddInputBytes(lb.reset("u0[").int(i).sep(']').bytes())
 	}
 	for t := 0; t < steps; t++ {
 		u := res.U[t]
 		// Right-hand side b = B·u (tridiagonal stencil on the previous step).
 		rhs := make([]cdag.VertexID, n)
 		for i := 0; i < n; i++ {
-			v := g.AddVertex(fmt.Sprintf("b%d[%d]", t, i))
+			v := g.AddVertexBytes(lb.reset("b").int(t).sep('[').int(i).sep(']').bytes())
 			if i > 0 {
 				g.AddEdge(u[i-1], v)
 			}
@@ -70,7 +72,7 @@ func HeatEquation1D(n, steps int) *HeatResult {
 		// Forward elimination: dp[0] = b[0]/diag; dp[i] = f(b[i], dp[i-1]).
 		fwd := make([]cdag.VertexID, n)
 		for i := 0; i < n; i++ {
-			v := g.AddVertex(fmt.Sprintf("dp%d[%d]", t, i))
+			v := g.AddVertexBytes(lb.reset("dp").int(t).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(rhs[i], v)
 			if i > 0 {
 				g.AddEdge(fwd[i-1], v)
@@ -81,7 +83,7 @@ func HeatEquation1D(n, steps int) *HeatResult {
 		// Back substitution: x[n-1] = dp[n-1]; x[i] = f(dp[i], x[i+1]).
 		next := make([]cdag.VertexID, n)
 		for i := n - 1; i >= 0; i-- {
-			v := g.AddVertex(fmt.Sprintf("u%d[%d]", t+1, i))
+			v := g.AddVertexBytes(lb.reset("u").int(t + 1).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(fwd[i], v)
 			if i+1 < n {
 				g.AddEdge(next[i+1], v)
@@ -93,6 +95,7 @@ func HeatEquation1D(n, steps int) *HeatResult {
 	for _, v := range res.U[steps] {
 		g.TagOutput(v)
 	}
+	g.Freeze()
 	return res
 }
 
@@ -116,11 +119,17 @@ func SpMV(cols int, rowCols [][]int) *SpMVResult {
 	if cols < 1 {
 		panic("gen: SpMV needs at least one column")
 	}
-	g := cdag.NewGraph(fmt.Sprintf("spmv-%dx%d", len(rowCols), cols), 0)
+	nnz := 0
+	for _, row := range rowCols {
+		nnz += len(row)
+	}
+	g := cdag.NewGraph(fmt.Sprintf("spmv-%dx%d", len(rowCols), cols), cols+2*nnz)
+	g.ReserveEdges(3 * nnz)
 	res := &SpMVResult{Graph: g, Rows: len(rowCols)}
+	var lb lbuf
 	res.X = make([]cdag.VertexID, cols)
 	for j := 0; j < cols; j++ {
-		res.X[j] = g.AddInput(fmt.Sprintf("x[%d]", j))
+		res.X[j] = g.AddInputBytes(lb.reset("x[").int(j).sep(']').bytes())
 	}
 	res.Y = make([]cdag.VertexID, len(rowCols))
 	for i, row := range rowCols {
@@ -129,22 +138,23 @@ func SpMV(cols int, rowCols [][]int) *SpMVResult {
 			if j < 0 || j >= cols {
 				panic(fmt.Sprintf("gen: SpMV column %d out of range [0,%d)", j, cols))
 			}
-			m := g.AddVertex(fmt.Sprintf("t[%d,%d]", i, j))
+			m := g.AddVertexBytes(lb.reset("t[").int(i).sep(',').int(j).sep(']').bytes())
 			g.AddEdge(res.X[j], m)
 			if acc == cdag.InvalidVertex {
 				acc = m
 				continue
 			}
-			add := g.AddVertex(fmt.Sprintf("acc[%d,%d]", i, j))
+			add := g.AddVertexBytes(lb.reset("acc[").int(i).sep(',').int(j).sep(']').bytes())
 			g.AddEdge(acc, add)
 			g.AddEdge(m, add)
 			acc = add
 		}
 		if acc == cdag.InvalidVertex {
-			acc = g.AddVertex(fmt.Sprintf("zero[%d]", i))
+			acc = g.AddVertexBytes(lb.reset("zero[").int(i).sep(']').bytes())
 		}
 		g.TagOutput(acc)
 		res.Y[i] = acc
 	}
+	g.Freeze()
 	return res
 }

@@ -41,13 +41,16 @@ func CG(dim, n, iterations int) *CGResult {
 	g := cdag.NewGraph(fmt.Sprintf("cg-%dd-%d-T%d", dim, n, iterations), 0)
 	res := &CGResult{Graph: g, Grid: grid, Iterations: iterations}
 
+	nbrOff, nbrVal := gridNeighborsFlat(grid)
+	g.ReserveEdges(iterations * (20*np + len(nbrVal)))
+	var lb lbuf
 	x := make([]cdag.VertexID, np)
 	r := make([]cdag.VertexID, np)
 	p := make([]cdag.VertexID, np)
 	for i := 0; i < np; i++ {
-		x[i] = g.AddInput(fmt.Sprintf("x0[%d]", i))
-		r[i] = g.AddInput(fmt.Sprintf("r0[%d]", i))
-		p[i] = g.AddInput(fmt.Sprintf("p0[%d]", i))
+		x[i] = g.AddInputBytes(lb.reset("x0[").int(i).sep(']').bytes())
+		r[i] = g.AddInputBytes(lb.reset("r0[").int(i).sep(']').bytes())
+		p[i] = g.AddInputBytes(lb.reset("p0[").int(i).sep(']').bytes())
 	}
 
 	for t := 0; t < iterations; t++ {
@@ -56,9 +59,9 @@ func CG(dim, n, iterations int) *CGResult {
 		// v ← A·p (sparse matrix-vector product over the grid stencil).
 		v := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			v[i] = g.AddVertex(fmt.Sprintf("v%d[%d]", t, i))
+			v[i] = g.AddVertexBytes(lb.reset("v").int(t).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(p[i], v[i])
-			for _, jn := range grid.Neighbors(i) {
+			for _, jn := range nbrVal[nbrOff[i]:nbrOff[i+1]] {
 				g.AddEdge(p[jn], v[i])
 			}
 		}
@@ -74,25 +77,25 @@ func CG(dim, n, iterations int) *CGResult {
 		xNew := make([]cdag.VertexID, np)
 		rNew := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			xNew[i] = g.AddVertex(fmt.Sprintf("x%d[%d]", t+1, i))
+			xNew[i] = g.AddVertexBytes(lb.reset("x").int(t + 1).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(x[i], xNew[i])
 			g.AddEdge(alpha, xNew[i])
 			g.AddEdge(p[i], xNew[i])
-			rNew[i] = g.AddVertex(fmt.Sprintf("r%d[%d]", t+1, i))
+			rNew[i] = g.AddVertexBytes(lb.reset("r").int(t + 1).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(r[i], rNew[i])
 			g.AddEdge(alpha, rNew[i])
 			g.AddEdge(v[i], rNew[i])
 		}
 		// g ← ⟨r_new, r_new⟩ / ⟨r, r⟩.
 		rnrn := reduceTree(g, fmt.Sprintf("rnrn%d", t), squareTerms(g, t, "rn2", rNew))
-		gamma := g.AddVertex(fmt.Sprintf("gamma%d", t))
+		gamma := g.AddVertexBytes(lb.reset("gamma").int(t).bytes())
 		g.AddEdge(rnrn, gamma)
 		g.AddEdge(rr, gamma)
 		res.GammaVertex = append(res.GammaVertex, gamma)
 		// p ← r_new + g·p.
 		pNew := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			pNew[i] = g.AddVertex(fmt.Sprintf("p%d[%d]", t+1, i))
+			pNew[i] = g.AddVertexBytes(lb.reset("p").int(t + 1).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(rNew[i], pNew[i])
 			g.AddEdge(gamma, pNew[i])
 			g.AddEdge(p[i], pNew[i])
@@ -108,15 +111,17 @@ func CG(dim, n, iterations int) *CGResult {
 	for _, xi := range x {
 		g.TagOutput(xi)
 	}
+	g.Freeze()
 	return res
 }
 
 // squareTerms creates the element-wise product vertices r[i]·r[i] feeding a
 // self inner product.
 func squareTerms(g *cdag.Graph, t int, tag string, r []cdag.VertexID) []cdag.VertexID {
+	var lb lbuf
 	terms := make([]cdag.VertexID, len(r))
 	for i := range r {
-		terms[i] = g.AddVertex(fmt.Sprintf("%s%d[%d]", tag, t, i))
+		terms[i] = g.AddVertexBytes(lb.reset(tag).int(t).sep('[').int(i).sep(']').bytes())
 		g.AddEdge(r[i], terms[i])
 	}
 	return terms
@@ -125,9 +130,10 @@ func squareTerms(g *cdag.Graph, t int, tag string, r []cdag.VertexID) []cdag.Ver
 // pairTerms creates the element-wise product vertices a[i]·b[i] feeding an
 // inner product of two distinct vectors.
 func pairTerms(g *cdag.Graph, t int, tag string, a, b []cdag.VertexID) []cdag.VertexID {
+	var lb lbuf
 	terms := make([]cdag.VertexID, len(a))
 	for i := range a {
-		terms[i] = g.AddVertex(fmt.Sprintf("%s%d[%d]", tag, t, i))
+		terms[i] = g.AddVertexBytes(lb.reset(tag).int(t).sep('[').int(i).sep(']').bytes())
 		g.AddEdge(a[i], terms[i])
 		g.AddEdge(b[i], terms[i])
 	}
@@ -137,6 +143,7 @@ func pairTerms(g *cdag.Graph, t int, tag string, a, b []cdag.VertexID) []cdag.Ve
 // reduceTree reduces the term vertices with a balanced binary adder tree and
 // returns the root vertex.
 func reduceTree(g *cdag.Graph, tag string, terms []cdag.VertexID) cdag.VertexID {
+	var lb lbuf
 	level := terms
 	round := 0
 	for len(level) > 1 {
@@ -146,7 +153,7 @@ func reduceTree(g *cdag.Graph, tag string, terms []cdag.VertexID) cdag.VertexID 
 				next = append(next, level[i])
 				continue
 			}
-			v := g.AddVertex(fmt.Sprintf("%s.red%d.%d", tag, round, i/2))
+			v := g.AddVertexBytes(lb.reset(tag).str(".red").int(round).sep('.').int(i / 2).bytes())
 			g.AddEdge(level[i], v)
 			g.AddEdge(level[i+1], v)
 			next = append(next, v)
@@ -188,9 +195,16 @@ func GMRES(dim, n, iterations int) *GMRESResult {
 	g := cdag.NewGraph(fmt.Sprintf("gmres-%dd-%d-m%d", dim, n, iterations), 0)
 	res := &GMRESResult{Graph: g, Grid: grid, Iterations: iterations}
 
+	nbrOff, nbrVal := gridNeighborsFlat(grid)
+	reserve := 0
+	for it := 0; it < iterations; it++ {
+		reserve += np + len(nbrVal) + (it+1)*4*np + np*(5+2*(it+1)) + 2*np
+	}
+	g.ReserveEdges(reserve)
+	var lb lbuf
 	v0 := make([]cdag.VertexID, np)
 	for i := 0; i < np; i++ {
-		v0[i] = g.AddInput(fmt.Sprintf("v0[%d]", i))
+		v0[i] = g.AddInputBytes(lb.reset("v0[").int(i).sep(']').bytes())
 	}
 	basis := [][]cdag.VertexID{v0}
 
@@ -201,9 +215,9 @@ func GMRES(dim, n, iterations int) *GMRESResult {
 		// w ← A·v_i.
 		w := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			w[i] = g.AddVertex(fmt.Sprintf("w%d[%d]", it, i))
+			w[i] = g.AddVertexBytes(lb.reset("w").int(it).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(vi[i], w[i])
-			for _, jn := range grid.Neighbors(i) {
+			for _, jn := range nbrVal[nbrOff[i]:nbrOff[i+1]] {
 				g.AddEdge(vi[jn], w[i])
 			}
 		}
@@ -219,7 +233,7 @@ func GMRES(dim, n, iterations int) *GMRESResult {
 		// v' ← w − Σ_j h_{j,it}·v_j.
 		vprime := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			vprime[i] = g.AddVertex(fmt.Sprintf("vp%d[%d]", it, i))
+			vprime[i] = g.AddVertexBytes(lb.reset("vp").int(it).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(w[i], vprime[i])
 			for j, h := range hs {
 				g.AddEdge(h, vprime[i])
@@ -231,7 +245,7 @@ func GMRES(dim, n, iterations int) *GMRESResult {
 		res.NormVertex = append(res.NormVertex, norm)
 		vnext := make([]cdag.VertexID, np)
 		for i := 0; i < np; i++ {
-			vnext[i] = g.AddVertex(fmt.Sprintf("v%d[%d]", it+1, i))
+			vnext[i] = g.AddVertexBytes(lb.reset("v").int(it + 1).sep('[').int(i).sep(']').bytes())
 			g.AddEdge(vprime[i], vnext[i])
 			g.AddEdge(norm, vnext[i])
 		}
@@ -246,5 +260,6 @@ func GMRES(dim, n, iterations int) *GMRESResult {
 	for _, vi := range basis[len(basis)-1] {
 		g.TagOutput(vi)
 	}
+	g.Freeze()
 	return res
 }

@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"strconv"
+
+	"cdagio/internal/linalg"
+)
+
+// lbuf is a reusable label-formatting buffer.  Generators format each vertex
+// label into it and hand the bytes to Graph.AddVertexBytes, so label
+// construction costs no per-vertex allocation: the bytes are copied straight
+// into the graph's flat label storage.
+type lbuf []byte
+
+func (b *lbuf) reset(prefix string) *lbuf {
+	*b = append((*b)[:0], prefix...)
+	return b
+}
+
+func (b *lbuf) str(s string) *lbuf {
+	*b = append(*b, s...)
+	return b
+}
+
+func (b *lbuf) int(i int) *lbuf {
+	*b = strconv.AppendInt(*b, int64(i), 10)
+	return b
+}
+
+func (b *lbuf) sep(c byte) *lbuf {
+	*b = append(*b, c)
+	return b
+}
+
+// bytes returns the accumulated label bytes.
+func (b *lbuf) bytes() []byte { return []byte(*b) }
+
+// gridNeighborsFlat precomputes the face-neighbor lists of every point of the
+// grid in one flat CSR-style pair (off, val): the neighbors of point c are
+// val[off[c]:off[c+1]], in the same deterministic order as
+// linalg.Grid.Neighbors (dimension ascending, −1 before +1).  Generators that
+// stage one edge per stencil leg for every time step or iteration compute the
+// lists once instead of allocating them per point per step.
+func gridNeighborsFlat(grid linalg.Grid) (off []int32, val []int32) {
+	np := grid.Points()
+	dim := grid.Dim
+	strides := make([]int, dim)
+	s := 1
+	for d := dim - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= grid.N
+	}
+	off = make([]int32, np+1)
+	val = make([]int32, 0, 2*dim*np)
+	coords := make([]int, dim)
+	for c := 0; c < np; c++ {
+		for d := 0; d < dim; d++ {
+			if coords[d] > 0 {
+				val = append(val, int32(c-strides[d]))
+			}
+			if coords[d]+1 < grid.N {
+				val = append(val, int32(c+strides[d]))
+			}
+		}
+		off[c+1] = int32(len(val))
+		// Advance the coordinate odometer (last dimension fastest, matching
+		// the row-major linear index).
+		for d := dim - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] < grid.N {
+				break
+			}
+			coords[d] = 0
+		}
+	}
+	return off, val
+}

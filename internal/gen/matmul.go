@@ -34,9 +34,15 @@ func MatMul(n int) *MatMulResult {
 		panic("gen: MatMul needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("matmul-%d", n), 2*n*n+2*n*n*n)
+	g.ReserveEdges(2*n*n*n + 2*n*n*(n-1))
 	res := &MatMulResult{Graph: g, N: n}
-	res.A = grid2(n, func(i, k int) cdag.VertexID { return g.AddInput(fmt.Sprintf("A[%d,%d]", i, k)) })
-	res.B = grid2(n, func(k, j int) cdag.VertexID { return g.AddInput(fmt.Sprintf("B[%d,%d]", k, j)) })
+	var lb lbuf
+	res.A = grid2(n, func(i, k int) cdag.VertexID {
+		return g.AddInputBytes(lb.reset("A[").int(i).sep(',').int(k).sep(']').bytes())
+	})
+	res.B = grid2(n, func(k, j int) cdag.VertexID {
+		return g.AddInputBytes(lb.reset("B[").int(k).sep(',').int(j).sep(']').bytes())
+	})
 	res.C = make([][]cdag.VertexID, n)
 	res.Mul = make([][][]cdag.VertexID, n)
 	res.Add = make([][][]cdag.VertexID, n)
@@ -49,7 +55,7 @@ func MatMul(n int) *MatMulResult {
 			res.Add[i][j] = make([]cdag.VertexID, n)
 			var acc cdag.VertexID = cdag.InvalidVertex
 			for k := 0; k < n; k++ {
-				m := g.AddVertex(fmt.Sprintf("mul[%d,%d,%d]", i, j, k))
+				m := g.AddVertexBytes(lb.reset("mul[").int(i).sep(',').int(j).sep(',').int(k).sep(']').bytes())
 				g.AddEdge(res.A[i][k], m)
 				g.AddEdge(res.B[k][j], m)
 				res.Mul[i][j][k] = m
@@ -58,7 +64,7 @@ func MatMul(n int) *MatMulResult {
 					acc = m
 					continue
 				}
-				add := g.AddVertex(fmt.Sprintf("add[%d,%d,%d]", i, j, k))
+				add := g.AddVertexBytes(lb.reset("add[").int(i).sep(',').int(j).sep(',').int(k).sep(']').bytes())
 				g.AddEdge(acc, add)
 				g.AddEdge(m, add)
 				res.Add[i][j][k] = add
@@ -68,6 +74,7 @@ func MatMul(n int) *MatMulResult {
 			res.C[i][j] = acc
 		}
 	}
+	g.Freeze()
 	return res
 }
 
@@ -116,26 +123,28 @@ func Composite(n int) *CompositeResult {
 		panic("gen: Composite needs n >= 1")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("composite-%d", n), 4*n+2*n*n+2*n*n*n+n*n)
+	g.ReserveEdges(4*n*n + 2*n*n*n + 2*n*n*(n-1) + 2*(n*n-1))
 	res := &CompositeResult{Graph: g, N: n}
 	res.P = make([]cdag.VertexID, n)
 	res.Q = make([]cdag.VertexID, n)
 	res.R = make([]cdag.VertexID, n)
 	res.S = make([]cdag.VertexID, n)
+	var lb lbuf
 	for i := 0; i < n; i++ {
-		res.P[i] = g.AddInput(fmt.Sprintf("p%d", i))
-		res.Q[i] = g.AddInput(fmt.Sprintf("q%d", i))
-		res.R[i] = g.AddInput(fmt.Sprintf("r%d", i))
-		res.S[i] = g.AddInput(fmt.Sprintf("s%d", i))
+		res.P[i] = g.AddInputBytes(lb.reset("p").int(i).bytes())
+		res.Q[i] = g.AddInputBytes(lb.reset("q").int(i).bytes())
+		res.R[i] = g.AddInputBytes(lb.reset("r").int(i).bytes())
+		res.S[i] = g.AddInputBytes(lb.reset("s").int(i).bytes())
 	}
 	// A[i][k] = p[i]*q[k], B[k][j] = r[k]*s[j].
 	res.A = grid2(n, func(i, k int) cdag.VertexID {
-		v := g.AddVertex(fmt.Sprintf("A[%d,%d]", i, k))
+		v := g.AddVertexBytes(lb.reset("A[").int(i).sep(',').int(k).sep(']').bytes())
 		g.AddEdge(res.P[i], v)
 		g.AddEdge(res.Q[k], v)
 		return v
 	})
 	res.B = grid2(n, func(k, j int) cdag.VertexID {
-		v := g.AddVertex(fmt.Sprintf("B[%d,%d]", k, j))
+		v := g.AddVertexBytes(lb.reset("B[").int(k).sep(',').int(j).sep(']').bytes())
 		g.AddEdge(res.R[k], v)
 		g.AddEdge(res.S[j], v)
 		return v
@@ -156,7 +165,7 @@ func Composite(n int) *CompositeResult {
 			res.AddC[i][j] = make([]cdag.VertexID, n)
 			var acc cdag.VertexID = cdag.InvalidVertex
 			for k := 0; k < n; k++ {
-				m := g.AddVertex(fmt.Sprintf("mul[%d,%d,%d]", i, j, k))
+				m := g.AddVertexBytes(lb.reset("mul[").int(i).sep(',').int(j).sep(',').int(k).sep(']').bytes())
 				g.AddEdge(res.A[i][k], m)
 				g.AddEdge(res.B[k][j], m)
 				res.Mul[i][j][k] = m
@@ -165,7 +174,7 @@ func Composite(n int) *CompositeResult {
 					acc = m
 					continue
 				}
-				add := g.AddVertex(fmt.Sprintf("addC[%d,%d,%d]", i, j, k))
+				add := g.AddVertexBytes(lb.reset("addC[").int(i).sep(',').int(j).sep(',').int(k).sep(']').bytes())
 				g.AddEdge(acc, add)
 				g.AddEdge(m, add)
 				res.AddC[i][j][k] = add
@@ -178,7 +187,7 @@ func Composite(n int) *CompositeResult {
 				sumAcc = acc
 				continue
 			}
-			add := g.AddVertex(fmt.Sprintf("addS[%d,%d]", i, j))
+			add := g.AddVertexBytes(lb.reset("addS[").int(i).sep(',').int(j).sep(']').bytes())
 			g.AddEdge(sumAcc, add)
 			g.AddEdge(acc, add)
 			res.AddS[i][j] = add
@@ -187,6 +196,7 @@ func Composite(n int) *CompositeResult {
 	}
 	g.TagOutput(sumAcc)
 	res.Sum = sumAcc
+	g.Freeze()
 	return res
 }
 
@@ -203,15 +213,17 @@ func FFT(n int) *cdag.Graph {
 		stages++
 	}
 	g := cdag.NewGraph(fmt.Sprintf("fft-%d", n), n*(stages+1))
+	g.ReserveEdges(2 * n * stages)
+	var lb lbuf
 	prev := make([]cdag.VertexID, n)
 	for i := 0; i < n; i++ {
-		prev[i] = g.AddInput(fmt.Sprintf("x%d", i))
+		prev[i] = g.AddInputBytes(lb.reset("x").int(i).bytes())
 	}
 	for s := 1; s <= stages; s++ {
 		cur := make([]cdag.VertexID, n)
 		span := 1 << (s - 1)
 		for i := 0; i < n; i++ {
-			cur[i] = g.AddVertex(fmt.Sprintf("s%d.%d", s, i))
+			cur[i] = g.AddVertexBytes(lb.reset("s").int(s).sep('.').int(i).bytes())
 			g.AddEdge(prev[i], cur[i])
 			g.AddEdge(prev[i^span], cur[i])
 		}
@@ -220,6 +232,7 @@ func FFT(n int) *cdag.Graph {
 	for _, v := range prev {
 		g.TagOutput(v)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -235,15 +248,17 @@ func BinomialTree(k int) *cdag.Graph {
 	}
 	n := 1 << k
 	g := cdag.NewGraph(fmt.Sprintf("binomial-%d", k), n*(k+1))
+	g.ReserveEdges(k * (n + n/2))
+	var lb lbuf
 	prev := make([]cdag.VertexID, n)
 	for i := range prev {
-		prev[i] = g.AddInput(fmt.Sprintf("leaf%d", i))
+		prev[i] = g.AddInputBytes(lb.reset("leaf").int(i).bytes())
 	}
 	for s := 1; s <= k; s++ {
 		cur := make([]cdag.VertexID, n)
 		span := 1 << (s - 1)
 		for i := 0; i < n; i++ {
-			cur[i] = g.AddVertex(fmt.Sprintf("b%d.%d", s, i))
+			cur[i] = g.AddVertexBytes(lb.reset("b").int(s).sep('.').int(i).bytes())
 			g.AddEdge(prev[i], cur[i])
 			// Combine with the partner block, binomial-style: only the upper
 			// half of each 2^s block receives the carry from the lower half.
@@ -256,6 +271,7 @@ func BinomialTree(k int) *cdag.Graph {
 	for _, v := range prev {
 		g.TagOutput(v)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -268,19 +284,22 @@ func Pyramid(h int) *cdag.Graph {
 		panic("gen: Pyramid needs h >= 0")
 	}
 	g := cdag.NewGraph(fmt.Sprintf("pyramid-%d", h), (h+1)*(h+2)/2)
+	g.ReserveEdges(h * (h + 1))
+	var lb lbuf
 	prev := make([]cdag.VertexID, h+1)
 	for i := range prev {
-		prev[i] = g.AddInput(fmt.Sprintf("base%d", i))
+		prev[i] = g.AddInputBytes(lb.reset("base").int(i).bytes())
 	}
 	for row := 1; row <= h; row++ {
 		cur := make([]cdag.VertexID, h+1-row)
 		for i := range cur {
-			cur[i] = g.AddVertex(fmt.Sprintf("p%d.%d", row, i))
+			cur[i] = g.AddVertexBytes(lb.reset("p").int(row).sep('.').int(i).bytes())
 			g.AddEdge(prev[i], cur[i])
 			g.AddEdge(prev[i+1], cur[i])
 		}
 		prev = cur
 	}
 	g.TagOutput(prev[0])
+	g.Freeze()
 	return g
 }

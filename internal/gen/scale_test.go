@@ -1,0 +1,45 @@
+package gen
+
+import "testing"
+
+// TestJacobiMillionVertexScale builds a ≥1M-vertex 2-D box-stencil CDAG on
+// the CSR core and checks its vertex and edge counts against the closed
+// forms.  Skipped under -short (and in the race CI job): the full build runs
+// in well under a second on the flat representation, but it allocates a
+// couple hundred megabytes.
+func TestJacobiMillionVertexScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 1M-vertex scale test in -short mode")
+	}
+	const (
+		n     = 512
+		steps = 3
+	)
+	r := Jacobi(2, n, steps, StencilBox)
+	g := r.Graph
+	wantV := n * n * (steps + 1)
+	if wantV < 1_000_000 {
+		t.Fatalf("test misconfigured: %d vertices < 1M", wantV)
+	}
+	if g.NumVertices() != wantV {
+		t.Fatalf("|V| = %d, want %d", g.NumVertices(), wantV)
+	}
+	// Box-stencil edge count per step: every (cell, offset) pair with the
+	// probed cell in bounds, i.e. (number of in-range offsets per cell summed
+	// over cells) = (3n-2)² for a 2-D grid of side n.
+	wantE := steps * (3*n - 2) * (3*n - 2)
+	if g.NumEdges() != wantE {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), wantE)
+	}
+	if !g.Frozen() {
+		t.Fatalf("generator did not freeze the graph")
+	}
+	if g.NumInputs() != n*n || g.NumOutputs() != n*n {
+		t.Fatalf("tags: %d inputs, %d outputs, want %d each", g.NumInputs(), g.NumOutputs(), n*n)
+	}
+	// Spot-check an interior vertex's stencil in-degree.
+	interior := r.Layer[1][r.Grid.Index([]int{5, 5})]
+	if g.InDegree(interior) != 9 {
+		t.Fatalf("interior in-degree = %d, want 9", g.InDegree(interior))
+	}
+}

@@ -47,6 +47,11 @@ type JacobiResult struct {
 // the given number of time steps: vertex (t, cell) depends on (t−1, cell') for
 // every cell' in the stencil neighborhood of cell.  Time-0 vertices are
 // inputs and time-Steps vertices are outputs (Section 5.4).
+//
+// The per-cell stencil neighborhoods are computed once and replayed for every
+// time step, and all edges are staged in bulk, so building a million-vertex
+// sweep costs O(V+E) time and a handful of allocations beyond the vertex
+// payload itself.
 func Jacobi(dim, n, steps int, kind StencilKind) *JacobiResult {
 	if steps < 1 {
 		panic("gen: Jacobi needs steps >= 1")
@@ -57,68 +62,109 @@ func Jacobi(dim, n, steps int, kind StencilKind) *JacobiResult {
 	res := &JacobiResult{Graph: g, Grid: grid, Steps: steps, Kind: kind,
 		Layer: make([][]cdag.VertexID, steps+1)}
 
+	nbrOff, nbrVal := stencilNeighborhoodsFlat(grid, kind)
+	g.ReserveEdges(steps * len(nbrVal))
+
+	var lb lbuf
 	res.Layer[0] = make([]cdag.VertexID, np)
 	for c := 0; c < np; c++ {
-		res.Layer[0][c] = g.AddInput(fmt.Sprintf("u0[%d]", c))
+		res.Layer[0][c] = g.AddInputBytes(lb.reset("u0[").int(c).sep(']').bytes())
 	}
 	for t := 1; t <= steps; t++ {
 		res.Layer[t] = make([]cdag.VertexID, np)
+		prev := res.Layer[t-1]
 		for c := 0; c < np; c++ {
-			v := g.AddVertex(fmt.Sprintf("u%d[%d]", t, c))
+			v := g.AddVertexBytes(lb.reset("u").int(t).sep('[').int(c).sep(']').bytes())
 			res.Layer[t][c] = v
-			for _, p := range stencilNeighborhood(grid, c, kind) {
-				g.AddEdge(res.Layer[t-1][p], v)
+			for _, p := range nbrVal[nbrOff[c]:nbrOff[c+1]] {
+				g.AddEdge(prev[p], v)
 			}
 		}
 	}
 	for _, v := range res.Layer[steps] {
 		g.TagOutput(v)
 	}
+	g.Freeze()
 	return res
 }
 
-// stencilNeighborhood returns the dependence cells of cell c (including c
-// itself) for the chosen stencil kind, in a deterministic order.
-func stencilNeighborhood(grid linalg.Grid, c int, kind StencilKind) []int {
+// stencilNeighborhoodsFlat returns the dependence cells of every grid point
+// (including the point itself) for the chosen stencil kind as one flat
+// CSR-style pair: the neighborhood of cell c is val[off[c]:off[c+1]], in the
+// same deterministic order as the historical per-cell computation (the cell
+// first and then its face neighbors for the star stencil; odometer order over
+// the {−1,0,1}^d offsets for the box stencil).
+func stencilNeighborhoodsFlat(grid linalg.Grid, kind StencilKind) (off []int32, val []int32) {
+	np := grid.Points()
 	switch kind {
 	case StencilStar:
-		out := []int{c}
-		return append(out, grid.Neighbors(c)...)
+		fOff, fVal := gridNeighborsFlat(grid)
+		off = make([]int32, np+1)
+		val = make([]int32, 0, np+len(fVal))
+		for c := 0; c < np; c++ {
+			val = append(val, int32(c))
+			val = append(val, fVal[fOff[c]:fOff[c+1]]...)
+			off[c+1] = int32(len(val))
+		}
+		return off, val
 	case StencilBox:
-		coords := grid.Coords(c)
-		cells := []int{}
-		offsets := make([]int, grid.Dim)
-		for i := range offsets {
-			offsets[i] = -1
+		dim := grid.Dim
+		strides := make([]int, dim)
+		s := 1
+		for d := dim - 1; d >= 0; d-- {
+			strides[d] = s
+			s *= grid.N
 		}
-		for {
-			ok := true
-			probe := make([]int, grid.Dim)
-			for d := 0; d < grid.Dim; d++ {
-				probe[d] = coords[d] + offsets[d]
-				if probe[d] < 0 || probe[d] >= grid.N {
-					ok = false
+		boxPoints := 1
+		for d := 0; d < dim; d++ {
+			boxPoints *= 3
+		}
+		off = make([]int32, np+1)
+		val = make([]int32, 0, np*boxPoints)
+		coords := make([]int, dim)
+		offsets := make([]int, dim)
+		for c := 0; c < np; c++ {
+			for i := range offsets {
+				offsets[i] = -1
+			}
+			for {
+				ok := true
+				probe := c
+				for d := 0; d < dim; d++ {
+					pc := coords[d] + offsets[d]
+					if pc < 0 || pc >= grid.N {
+						ok = false
+						break
+					}
+					probe += offsets[d] * strides[d]
+				}
+				if ok {
+					val = append(val, int32(probe))
+				}
+				// Advance the offset odometer over {-1,0,1}^d.
+				d := dim - 1
+				for d >= 0 {
+					offsets[d]++
+					if offsets[d] <= 1 {
+						break
+					}
+					offsets[d] = -1
+					d--
+				}
+				if d < 0 {
 					break
 				}
 			}
-			if ok {
-				cells = append(cells, grid.Index(probe))
-			}
-			// Advance the offset odometer over {-1,0,1}^d.
-			d := grid.Dim - 1
-			for d >= 0 {
-				offsets[d]++
-				if offsets[d] <= 1 {
+			off[c+1] = int32(len(val))
+			for d := dim - 1; d >= 0; d-- {
+				coords[d]++
+				if coords[d] < grid.N {
 					break
 				}
-				offsets[d] = -1
-				d--
-			}
-			if d < 0 {
-				break
+				coords[d] = 0
 			}
 		}
-		return cells
+		return off, val
 	default:
 		panic(fmt.Sprintf("gen: unknown stencil kind %d", int(kind)))
 	}

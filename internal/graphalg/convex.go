@@ -28,7 +28,7 @@ func (c ConvexCut) Validate(g *cdag.Graph) error {
 			c.S.Len(), c.T.Len(), n)
 	}
 	for _, v := range c.T.Elements() {
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			if c.S.Contains(w) {
 				return fmt.Errorf("graphalg: edge %d->%d runs from T to S", v, w)
 			}
@@ -42,7 +42,7 @@ func (c ConvexCut) Validate(g *cdag.Graph) error {
 func (c ConvexCut) Boundary(g *cdag.Graph) *cdag.VertexSet {
 	b := cdag.NewVertexSet(g.NumVertices())
 	for _, v := range c.S.Elements() {
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			if c.T.Contains(w) {
 				b.Add(v)
 				break

@@ -5,13 +5,13 @@ import "cdagio/internal/cdag"
 // Descendants returns the set of vertices reachable from v by directed paths
 // of length ≥ 1 (v itself is excluded).
 func Descendants(g *cdag.Graph, v cdag.VertexID) *cdag.VertexSet {
-	return reach(g, v, g.Successors)
+	return reach(g, v, g.Succ)
 }
 
 // Ancestors returns the set of vertices from which v is reachable by directed
 // paths of length ≥ 1 (v itself is excluded).
 func Ancestors(g *cdag.Graph, v cdag.VertexID) *cdag.VertexSet {
-	return reach(g, v, g.Predecessors)
+	return reach(g, v, g.Pred)
 }
 
 func reach(g *cdag.Graph, v cdag.VertexID, next func(cdag.VertexID) []cdag.VertexID) *cdag.VertexSet {
@@ -39,7 +39,7 @@ func ReachableFrom(g *cdag.Graph, sources []cdag.VertexID) *cdag.VertexSet {
 		if !seen.Add(u) {
 			continue
 		}
-		stack = append(stack, g.Successors(u)...)
+		stack = append(stack, g.Succ(u)...)
 	}
 	return seen
 }
@@ -55,7 +55,7 @@ func CoReachableTo(g *cdag.Graph, targets []cdag.VertexID) *cdag.VertexSet {
 		if !seen.Add(u) {
 			continue
 		}
-		stack = append(stack, g.Predecessors(u)...)
+		stack = append(stack, g.Pred(u)...)
 	}
 	return seen
 }
@@ -79,7 +79,7 @@ func TransitiveClosure(g *cdag.Graph) []*cdag.VertexSet {
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
 		set := cdag.NewVertexSet(n)
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			set.Add(w)
 			set.Union(closure[w])
 		}

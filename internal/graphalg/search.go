@@ -38,6 +38,9 @@ const prunedMark = int32(-1)
 // candidates whose cheap upper bound is strictly below the best value already
 // established, and such candidates can neither raise the bound nor tie it.
 func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
+	// Compile any staged edges into the CSR arrays before the workers start:
+	// the lazy materialization is not synchronized.
+	g.Materialize()
 	if candidates == nil {
 		candidates = g.Vertices()
 	}
@@ -186,7 +189,7 @@ func (sc *wmaxScratch) explore(x cdag.VertexID) {
 	g := sc.g
 
 	sc.desc = sc.desc[:0]
-	sc.stack = append(sc.stack[:0], g.Successors(x)...)
+	sc.stack = append(sc.stack[:0], g.Succ(x)...)
 	for len(sc.stack) > 0 {
 		u := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
@@ -195,11 +198,11 @@ func (sc *wmaxScratch) explore(x cdag.VertexID) {
 		}
 		sc.descMark[u] = e
 		sc.desc = append(sc.desc, u)
-		sc.stack = append(sc.stack, g.Successors(u)...)
+		sc.stack = append(sc.stack, g.Succ(u)...)
 	}
 
 	sc.anc = sc.anc[:0]
-	sc.stack = append(sc.stack[:0], g.Predecessors(x)...)
+	sc.stack = append(sc.stack[:0], g.Pred(x)...)
 	for len(sc.stack) > 0 {
 		u := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
@@ -208,7 +211,7 @@ func (sc *wmaxScratch) explore(x cdag.VertexID) {
 		}
 		sc.ancMark[u] = e
 		sc.anc = append(sc.anc, u)
-		sc.stack = append(sc.stack, g.Predecessors(u)...)
+		sc.stack = append(sc.stack, g.Pred(u)...)
 	}
 }
 
@@ -223,7 +226,7 @@ func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
 	// successor outside S.
 	early := 0
 	xInBoundary := false
-	for _, w := range g.Successors(x) {
+	for _, w := range g.Succ(x) {
 		if w != x && sc.ancMark[w] != e {
 			early++
 			xInBoundary = true
@@ -231,7 +234,7 @@ func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
 		}
 	}
 	for _, v := range sc.anc {
-		for _, w := range g.Successors(v) {
+		for _, w := range g.Succ(v) {
 			if w != x && sc.ancMark[w] != e {
 				early++
 				break
@@ -249,7 +252,7 @@ func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
 		// successor of x is a descendant.
 		late := 0
 		for _, d := range sc.desc {
-			for _, p := range g.Predecessors(d) {
+			for _, p := range g.Pred(d) {
 				if sc.descMark[p] != e && sc.seenMark[p] != e {
 					sc.seenMark[p] = e
 					late++
@@ -326,7 +329,7 @@ func (sc *wmaxScratch) ensureNet() {
 	for v := 0; v < n; v++ {
 		sc.splitArc[v] = int32(len(net.to))
 		net.addEdge(2*v, 2*v+1, 1)
-		for _, w := range sc.g.Successors(cdag.VertexID(v)) {
+		for _, w := range sc.g.Succ(cdag.VertexID(v)) {
 			net.addEdge(2*v+1, 2*int(w), flowInf)
 		}
 	}

@@ -50,7 +50,7 @@ func MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexID, opts CutOptio
 			capV = flowInf
 		}
 		net.addEdge(2*v, 2*v+1, capV)
-		for _, w := range g.Successors(id) {
+		for _, w := range g.Succ(id) {
 			net.addEdge(2*v+1, 2*int(w), flowInf)
 		}
 	}

@@ -1,0 +1,96 @@
+package iheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cdagio/internal/cdag"
+)
+
+// TestPriorityHeapOrder drives the heap with random updates and removals and
+// checks that PopMax drains entries in (priority descending, vertex
+// ascending) order — the deterministic victim order the memsim caches rely
+// on.
+func TestPriorityHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(50)
+		var h PriorityHeap
+		h.Init(n)
+		want := make(map[cdag.VertexID]int64)
+		ops := 5 * n
+		for o := 0; o < ops; o++ {
+			v := cdag.VertexID(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0, 1:
+				p := int64(rng.Intn(10)) // small range to force ties
+				h.Update(v, p)
+				want[v] = p
+			case 2:
+				h.Remove(v)
+				delete(want, v)
+			}
+			if h.Len() != len(want) {
+				t.Fatalf("Len = %d, want %d", h.Len(), len(want))
+			}
+		}
+		type entry struct {
+			v cdag.VertexID
+			p int64
+		}
+		expect := make([]entry, 0, len(want))
+		for v, p := range want {
+			if !h.Contains(v) {
+				t.Fatalf("Contains(%d) = false for resident vertex", v)
+			}
+			expect = append(expect, entry{v, p})
+		}
+		sort.Slice(expect, func(i, j int) bool {
+			if expect[i].p != expect[j].p {
+				return expect[i].p > expect[j].p
+			}
+			return expect[i].v < expect[j].v
+		})
+		if v, p, ok := h.PeekMax(); len(expect) > 0 && (!ok || v != expect[0].v || p != expect[0].p) {
+			t.Fatalf("PeekMax = (%d,%d,%v), want (%d,%d)", v, p, ok, expect[0].v, expect[0].p)
+		}
+		for i, e := range expect {
+			v, p, ok := h.PopMax()
+			if !ok || v != e.v || p != e.p {
+				t.Fatalf("trial %d pop %d: got (%d,%d,%v), want (%d,%d)", trial, i, v, p, ok, e.v, e.p)
+			}
+		}
+		if _, _, ok := h.PopMax(); ok {
+			t.Fatalf("PopMax on empty heap reported ok")
+		}
+	}
+}
+
+// TestEvictHeapDeadFirst checks the EvictHeap victim order: dead entries
+// before live ones, then oldest touch, then smallest vertex, with Fix
+// re-ranking after a deadness flip.
+func TestEvictHeapDeadFirst(t *testing.T) {
+	var h EvictHeap
+	h.Init(4)
+	dead := make([]bool, 4)
+	h.Update(2, 10, dead)
+	h.Update(0, 5, dead)
+	h.Update(1, 5, dead)
+	if v, _ := h.PeekMin(); v != 0 {
+		t.Fatalf("min = %d, want 0 (oldest touch, smallest id)", v)
+	}
+	dead[2] = true
+	h.Fix(2, dead)
+	if v, _ := h.PeekMin(); v != 2 {
+		t.Fatalf("min = %d, want dead vertex 2", v)
+	}
+	h.Remove(2, dead)
+	if h.Size() != 2 || h.Contains(2) {
+		t.Fatalf("remove failed: size=%d contains=%v", h.Size(), h.Contains(2))
+	}
+	v, clock := h.PopMin(dead)
+	if v != 0 || clock != 5 {
+		t.Fatalf("PopMin = (%d,%d), want (0,5)", v, clock)
+	}
+}

@@ -15,10 +15,10 @@
 package memsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cdagio/internal/cdag"
+	"cdagio/internal/iheap"
 )
 
 // Config describes the simulated machine.
@@ -169,7 +169,7 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 		if position[v] < 0 {
 			return nil, fmt.Errorf("memsim: vertex %d missing from schedule", v)
 		}
-		for _, p := range g.Predecessors(id) {
+		for _, p := range g.Pred(id) {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return nil, fmt.Errorf("memsim: vertex %d scheduled before predecessor %d", v, p)
 			}
@@ -179,18 +179,36 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 		}
 	}
 
-	// usesOnNode[v] lists, in increasing order, the schedule positions at
-	// which node nodeOf(order[i]) consumes v.  Used by the Belady policy and
-	// by the write-back decision.
-	type use struct{ pos, node int }
-	uses := make([][]use, n)
-	for i, v := range order {
-		nd := nodeOf(v)
-		for _, p := range g.Predecessors(v) {
-			uses[p] = append(uses[p], use{pos: i, node: nd})
+	// The uses of v — the schedule positions at which some node consumes v,
+	// with the consuming node — are stored flat in one CSR-style pair: the
+	// uses of v are usePos/useNode[useOff[v]:useOff[v+1]], in increasing
+	// position order (a stable counting-sort scatter over the schedule).  Used
+	// by the Belady policy and by the write-back decision.
+	useOff := make([]int64, n+1)
+	for _, v := range order {
+		for _, p := range g.Pred(v) {
+			useOff[p+1]++
 		}
 	}
-	usePtr := make([]int, n)
+	for v := 0; v < n; v++ {
+		useOff[v+1] += useOff[v]
+	}
+	totalUses := useOff[n]
+	usePos := make([]int32, totalUses)
+	useNode := make([]int32, totalUses)
+	useCursor := make([]int64, n)
+	copy(useCursor, useOff[:n])
+	for i, v := range order {
+		nd := nodeOf(v)
+		for _, p := range g.Pred(v) {
+			usePos[useCursor[p]] = int32(i)
+			useNode[useCursor[p]] = int32(nd)
+			useCursor[p]++
+		}
+	}
+	// usePtr[v] indexes the first use of v not yet in the past (monotone).
+	usePtr := useCursor
+	copy(usePtr, useOff[:n])
 
 	stats := &Stats{
 		LoadsPerNode:      make([]int64, cfg.Nodes),
@@ -201,7 +219,7 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 
 	caches := make([]*cache, cfg.Nodes)
 	for i := range caches {
-		caches[i] = newCache(cfg.FastWords, cfg.Policy)
+		caches[i] = newCache(n, cfg.Policy)
 	}
 	// durable[v] records whether v has a copy in some node's main memory (and
 	// on which node it landed first); inputs start durable on their owner.
@@ -216,27 +234,34 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 	const never = int(^uint(0) >> 1)
 	nextUseOnNode := func(v cdag.VertexID, after, node int) int {
 		// Linear scan from the shared pointer; uses are consumed in order.
-		for usePtr[v] < len(uses[v]) && uses[v][usePtr[v]].pos <= after {
+		for usePtr[v] < useOff[v+1] && int(usePos[usePtr[v]]) <= after {
 			usePtr[v]++
 		}
-		for k := usePtr[v]; k < len(uses[v]); k++ {
-			if uses[v][k].node == node {
-				return uses[v][k].pos
+		for k := usePtr[v]; k < useOff[v+1]; k++ {
+			if int(useNode[k]) == node {
+				return int(usePos[k])
 			}
 		}
 		return never
 	}
 	neededLater := func(v cdag.VertexID, after int) bool {
-		for k := usePtr[v]; k < len(uses[v]); k++ {
-			if uses[v][k].pos > after {
+		for k := usePtr[v]; k < useOff[v+1]; k++ {
+			if int(usePos[k]) > after {
 				return true
 			}
 		}
 		return g.IsOutput(v)
 	}
 
-	evict := func(node, pos int, pinned map[cdag.VertexID]bool) error {
-		victim, ok := caches[node].chooseVictim(pinned)
+	// pinStamp[v] == step marks v as pinned (an operand of the vertex firing
+	// at that step), replacing a per-step map allocation.
+	pinStamp := make([]int32, n)
+	for i := range pinStamp {
+		pinStamp[i] = -1
+	}
+
+	evict := func(node, pos int) error {
+		victim, ok := caches[node].chooseVictim(pinStamp, int32(pos))
 		if !ok {
 			return fmt.Errorf("memsim: fast memory of node %d full of pinned values at step %d", node, pos)
 		}
@@ -247,9 +272,9 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 		caches[node].remove(victim)
 		return nil
 	}
-	ensureRoom := func(node, pos int, pinned map[cdag.VertexID]bool) error {
+	ensureRoom := func(node, pos int) error {
 		for caches[node].len() >= cfg.FastWords {
-			if err := evict(node, pos, pinned); err != nil {
+			if err := evict(node, pos); err != nil {
 				return err
 			}
 		}
@@ -258,16 +283,15 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 
 	for i, v := range order {
 		node := nodeOf(v)
-		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
-		for _, p := range g.Predecessors(v) {
-			pinned[p] = true
+		for _, p := range g.Pred(v) {
+			pinStamp[p] = int32(i)
 		}
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if caches[node].contains(p) {
 				caches[node].touch(p, i, nextUseOnNode(p, i, node))
 				continue
 			}
-			if err := ensureRoom(node, i, pinned); err != nil {
+			if err := ensureRoom(node, i); err != nil {
 				return nil, err
 			}
 			if durable[p] < 0 {
@@ -293,7 +317,7 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 			}
 			caches[node].insert(p, i, nextUseOnNode(p, i, node))
 		}
-		if err := ensureRoom(node, i, pinned); err != nil {
+		if err := ensureRoom(node, i); err != nil {
 			return nil, err
 		}
 		caches[node].insert(v, i, nextUseOnNode(v, i, node))
@@ -315,40 +339,34 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 	return stats, nil
 }
 
-// cache is a fixed-capacity value cache with Belady or LRU replacement.
+// cache is a fixed-capacity value cache with Belady or LRU replacement,
+// built on the concrete indexed priority heap of package iheap: membership,
+// touches, removals and victim selection all run on flat arrays without the
+// interface boxing of container/heap, and victim ties (values whose next use
+// coincides, or that are never used again) are broken deterministically by
+// smallest vertex ID.  The heap's position index costs one lazily-allocated
+// int32 per graph vertex per active node — proportionate for the simulator's
+// design point of single-digit node counts against multi-megabyte CSR
+// graphs; a many-hundred-node simulation would want a capacity-bounded index
+// instead.
 type cache struct {
-	policy  Policy
-	entries map[cdag.VertexID]*cacheEntry
-	pq      entryQueue
-	clock   int64
+	policy Policy
+	h      iheap.PriorityHeap
+	clock  int64
+
+	// scratch for chooseVictim's pinned-entry skip.
+	skipV []cdag.VertexID
+	skipP []int64
 }
 
-type cacheEntry struct {
-	v        cdag.VertexID
-	priority int64 // eviction priority: higher = evict first
-	index    int
+func newCache(universe int, policy Policy) *cache {
+	c := &cache{policy: policy}
+	c.h.Init(universe)
+	return c
 }
 
-type entryQueue []*cacheEntry
-
-func (q entryQueue) Len() int            { return len(q) }
-func (q entryQueue) Less(i, j int) bool  { return q[i].priority > q[j].priority }
-func (q entryQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *entryQueue) Push(x interface{}) { e := x.(*cacheEntry); e.index = len(*q); *q = append(*q, e) }
-func (q *entryQueue) Pop() interface{} {
-	old := *q
-	e := old[len(old)-1]
-	old[len(old)-1] = nil
-	*q = old[:len(old)-1]
-	return e
-}
-
-func newCache(capacity int, policy Policy) *cache {
-	return &cache{policy: policy, entries: make(map[cdag.VertexID]*cacheEntry, capacity)}
-}
-
-func (c *cache) len() int                      { return len(c.entries) }
-func (c *cache) contains(v cdag.VertexID) bool { _, ok := c.entries[v]; return ok }
+func (c *cache) len() int                      { return c.h.Len() }
+func (c *cache) contains(v cdag.VertexID) bool { return c.h.Contains(v) }
 
 func (c *cache) priorityFor(pos, nextUse int) int64 {
 	c.clock++
@@ -362,44 +380,44 @@ func (c *cache) priorityFor(pos, nextUse int) int64 {
 }
 
 func (c *cache) insert(v cdag.VertexID, pos, nextUse int) {
-	e := &cacheEntry{v: v, priority: c.priorityFor(pos, nextUse)}
-	c.entries[v] = e
-	heap.Push(&c.pq, e)
+	c.h.Update(v, c.priorityFor(pos, nextUse))
 }
 
 func (c *cache) touch(v cdag.VertexID, pos, nextUse int) {
-	if e, ok := c.entries[v]; ok {
-		e.priority = c.priorityFor(pos, nextUse)
-		heap.Fix(&c.pq, e.index)
+	if c.h.Contains(v) {
+		c.h.Update(v, c.priorityFor(pos, nextUse))
 	}
 }
 
 func (c *cache) remove(v cdag.VertexID) {
-	if e, ok := c.entries[v]; ok {
-		heap.Remove(&c.pq, e.index)
-		delete(c.entries, v)
-	}
+	c.h.Remove(v)
 }
 
 // chooseVictim returns the entry with the highest eviction priority that is
-// not pinned.  It reports false when every entry is pinned.
-func (c *cache) chooseVictim(pinned map[cdag.VertexID]bool) (cdag.VertexID, bool) {
-	// Pop until an unpinned entry surfaces, pushing pinned ones back.
-	var skipped []*cacheEntry
-	for c.pq.Len() > 0 {
-		e := heap.Pop(&c.pq).(*cacheEntry)
-		if pinned[e.v] {
-			skipped = append(skipped, e)
-			continue
+// not pinned (pinStamp[v] == step marks v pinned).  It reports false when
+// every entry is pinned.
+func (c *cache) chooseVictim(pinStamp []int32, step int32) (cdag.VertexID, bool) {
+	// Pop until an unpinned entry surfaces, then reinsert everything popped
+	// (the caller's remove() does the actual deletion of the victim).
+	c.skipV, c.skipP = c.skipV[:0], c.skipP[:0]
+	victim, found := cdag.InvalidVertex, false
+	for {
+		v, p, ok := c.h.PopMax()
+		if !ok {
+			break
 		}
-		for _, s := range skipped {
-			heap.Push(&c.pq, s)
+		c.skipV = append(c.skipV, v)
+		c.skipP = append(c.skipP, p)
+		if pinStamp[v] != step {
+			victim, found = v, true
+			break
 		}
-		heap.Push(&c.pq, e) // remove() does the actual deletion
-		return e.v, true
 	}
-	for _, s := range skipped {
-		heap.Push(&c.pq, s)
+	for i, v := range c.skipV {
+		c.h.Update(v, c.skipP[i])
 	}
-	return 0, false
+	if !found {
+		return 0, false
+	}
+	return victim, true
 }

@@ -1,0 +1,69 @@
+package memsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cdagio/internal/cdag"
+)
+
+// Job is one simulation of a sweep: a machine configuration, a schedule and
+// an optional vertex→node assignment, all against a shared graph.
+type Job struct {
+	Cfg   Config
+	Order []cdag.VertexID
+	Owner []int
+}
+
+// Sweep runs the jobs over a bounded worker pool and returns one Stats per
+// job, in job order.  Each job is an independent Run against the shared
+// (read-only) graph, so the results — including the error, which is the one
+// the lowest-indexed failing job produced — are deterministically identical
+// to running the jobs serially, for every worker count.  workers ≤ 0 selects
+// runtime.GOMAXPROCS(0).
+//
+// This is the engine behind the per-S tightness sweeps and per-schedule
+// ablations of Section 5.4: the schedules are precomputed and the memory
+// simulations, which dominate the sweep, fan out.
+func Sweep(g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
+	// Compile any staged edges before the workers start: the lazy CSR
+	// materialization is not synchronized.
+	g.Materialize()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]*Stats, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i], errs[i] = Run(g, j.Cfg, j.Order, j.Owner)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					out[i], errs[i] = Run(g, jobs[i].Cfg, jobs[i].Order, jobs[i].Owner)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -55,7 +55,7 @@ func (p SPartition) Validate(g *cdag.Graph) error {
 		if partOf[v] < 0 {
 			continue
 		}
-		for _, w := range g.Successors(cdag.VertexID(v)) {
+		for _, w := range g.Succ(cdag.VertexID(v)) {
 			if partOf[w] < 0 || partOf[w] == partOf[v] {
 				continue
 			}

@@ -211,7 +211,7 @@ func (game *Game) Apply(m Move) error {
 		if game.red.Contains(m.V) {
 			return game.illegal(m, "vertex already holds a red pebble")
 		}
-		for _, p := range game.graph.Predecessors(m.V) {
+		for _, p := range game.graph.Pred(m.V) {
 			if !game.red.Contains(p) {
 				return game.illegal(m, fmt.Sprintf("predecessor %d lacks a red pebble", p))
 			}

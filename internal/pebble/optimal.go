@@ -90,7 +90,7 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 		if g.IsOutput(id) {
 			outputMask |= 1 << uint(v)
 		}
-		for _, p := range g.Predecessors(id) {
+		for _, p := range g.Pred(id) {
 			preds[v] |= 1 << uint(p)
 		}
 		hasSucc[v] = g.OutDegree(id) > 0

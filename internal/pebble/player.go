@@ -82,7 +82,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 			return Result{}, &ScheduleError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
 		}
 		scheduled++
-		for _, p := range g.Predecessors(id) {
+		for _, p := range g.Pred(id) {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return Result{}, &ScheduleError{
 					Reason: fmt.Sprintf("vertex %d scheduled before its predecessor %d", v, p)}
@@ -101,7 +101,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	// order, as one flat CSR table (useList[useStart[v]:useStart[v+1]]).
 	useStart := make([]int32, n+1)
 	for _, v := range order {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			useStart[p+1]++
 		}
 	}
@@ -111,7 +111,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	useList := make([]int32, useStart[n])
 	fill := make([]int32, n)
 	for i, v := range order {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			useList[useStart[p]+fill[p]] = int32(i)
 			fill[p]++
 		}
@@ -231,11 +231,11 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	moves := 0
 	for i, v := range order {
 		pinEpoch++
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pinStamp[p] = pinEpoch
 		}
 		// Bring all predecessors into fast memory.
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if game.HasRed(p) {
 				lastUse[p] = clock
 				continue
@@ -266,7 +266,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 		moves++
 		clock++
 		// Drop values that are dead from here on (free, no I/O).
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if game.HasRed(p) && !needsPreserve(p, i) {
 				if err := game.Apply(Move{Delete, p}); err != nil {
 					return Result{}, err

@@ -303,7 +303,7 @@ func (game *Game) Compute(proc int, v cdag.VertexID) error {
 	if game.white.Contains(v) {
 		return &RuleError{Rule: "R6 compute", Reason: fmt.Sprintf("vertex %d already fired", v)}
 	}
-	for _, p := range game.graph.Predecessors(v) {
+	for _, p := range game.graph.Pred(v) {
 		if !game.HasPebbleAt(p, at) {
 			return &RuleError{Rule: "R6 compute", Reason: fmt.Sprintf("predecessor %d not in registers of processor %d", p, proc)}
 		}

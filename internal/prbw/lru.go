@@ -1,146 +1,10 @@
 package prbw
 
-import "cdagio/internal/cdag"
+import "cdagio/internal/iheap"
 
-// evictHeap is an indexed min-heap over the values resident in one storage
-// unit, ordered by the eviction preference of the schedule player: dead values
-// first (values whose loss costs nothing — a copy exists elsewhere, a blue
-// pebble backs them, or no later compute step needs them), then the least
-// recently touched, with ties broken by smallest vertex ID.  This is exactly
-// the victim order the map-based reference player computes by scanning the
-// whole unit; the heap delivers it in O(log capacity) per operation.
-//
-// Deadness is shared state owned by the player (one flag per vertex, the same
-// for every unit holding the vertex) and passed into every operation; the
-// player re-sifts the affected entries whenever a flag flips.
-type evictHeap struct {
-	verts []cdag.VertexID
-	touch []int64
-	// pos[v] is the heap position of v, or -1 when absent.  Allocated lazily
-	// on the unit's first placement, so untouched units of large topologies
-	// cost nothing.
-	pos []int32
-	n   int
-}
-
-func (h *evictHeap) init(n int) { h.n = n }
-
-func (h *evictHeap) size() int { return len(h.verts) }
-
-func (h *evictHeap) contains(v cdag.VertexID) bool {
-	return h.pos != nil && h.pos[v] >= 0
-}
-
-func (h *evictHeap) ensurePos() {
-	if h.pos == nil {
-		h.pos = make([]int32, h.n)
-		for i := range h.pos {
-			h.pos[i] = -1
-		}
-	}
-}
-
-// less orders entries by (dead first, oldest touch, smallest vertex).
-func (h *evictHeap) less(i, j int, dead []bool) bool {
-	vi, vj := h.verts[i], h.verts[j]
-	if dead[vi] != dead[vj] {
-		return dead[vi]
-	}
-	if h.touch[i] != h.touch[j] {
-		return h.touch[i] < h.touch[j]
-	}
-	return vi < vj
-}
-
-func (h *evictHeap) swap(i, j int) {
-	h.verts[i], h.verts[j] = h.verts[j], h.verts[i]
-	h.touch[i], h.touch[j] = h.touch[j], h.touch[i]
-	h.pos[h.verts[i]] = int32(i)
-	h.pos[h.verts[j]] = int32(j)
-}
-
-func (h *evictHeap) siftUp(i int, dead []bool) int {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent, dead) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-	return i
-}
-
-func (h *evictHeap) siftDown(i int, dead []bool) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.verts) && h.less(l, smallest, dead) {
-			smallest = l
-		}
-		if r < len(h.verts) && h.less(r, smallest, dead) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
-}
-
-// update records a touch of v at the given clock, inserting it if absent.
-func (h *evictHeap) update(v cdag.VertexID, clock int64, dead []bool) {
-	h.ensurePos()
-	if i := h.pos[v]; i >= 0 {
-		h.touch[i] = clock
-		h.siftDown(int(h.siftUp(int(i), dead)), dead)
-		return
-	}
-	h.verts = append(h.verts, v)
-	h.touch = append(h.touch, clock)
-	h.pos[v] = int32(len(h.verts) - 1)
-	h.siftUp(len(h.verts)-1, dead)
-}
-
-// remove deletes v from the heap; it is a no-op when v is absent.
-func (h *evictHeap) remove(v cdag.VertexID, dead []bool) {
-	if h.pos == nil || h.pos[v] < 0 {
-		return
-	}
-	i := int(h.pos[v])
-	last := len(h.verts) - 1
-	if i != last {
-		h.swap(i, last)
-	}
-	h.verts = h.verts[:last]
-	h.touch = h.touch[:last]
-	h.pos[v] = -1
-	if i < last {
-		h.siftDown(h.siftUp(i, dead), dead)
-	}
-}
-
-// fix restores the heap order around v after its dead flag flipped; it is a
-// no-op when v is absent.
-func (h *evictHeap) fix(v cdag.VertexID, dead []bool) {
-	if h.pos == nil || h.pos[v] < 0 {
-		return
-	}
-	h.siftDown(h.siftUp(int(h.pos[v]), dead), dead)
-}
-
-// peekMin returns the current victim-preference minimum without removing it.
-func (h *evictHeap) peekMin() (cdag.VertexID, bool) {
-	if len(h.verts) == 0 {
-		return cdag.InvalidVertex, false
-	}
-	return h.verts[0], true
-}
-
-// popMin removes and returns the minimum entry together with its touch clock.
-func (h *evictHeap) popMin(dead []bool) (cdag.VertexID, int64) {
-	v, t := h.verts[0], h.touch[0]
-	h.remove(v, dead)
-	return v, t
-}
+// evictHeap is the indexed per-storage-unit victim heap of the schedule
+// player.  The implementation lives in the shared package iheap (it is also
+// the model for the memsim cache heaps); see iheap.EvictHeap for the victim
+// ordering contract: dead values first, then least recently touched, ties by
+// smallest vertex ID.
+type evictHeap = iheap.EvictHeap

@@ -107,7 +107,7 @@ func validateAssignment(g *cdag.Graph, topo Topology, asg Assignment) error {
 			return &PlayError{Reason: fmt.Sprintf("register capacity %d too small for in-degree %d of vertex %d",
 				topo.Capacity(1), g.InDegree(id), v)}
 		}
-		for _, p := range g.Predecessors(id) {
+		for _, p := range g.Pred(id) {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return &PlayError{Reason: fmt.Sprintf("vertex %d scheduled before predecessor %d", v, p)}
 			}
@@ -198,7 +198,7 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 		pl.lastUseAt[v] = -1
 	}
 	for i, v := range asg.Order {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pl.lastUseAt[p] = int32(i)
 		}
 	}
@@ -217,7 +217,7 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	}
 	pl.units = make([]evictHeap, total)
 	for i := range pl.units {
-		pl.units[i].init(n)
+		pl.units[i].Init(n)
 	}
 	pl.pinStamp = make([]int32, n)
 
@@ -227,14 +227,14 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 		proc := asg.Proc[i]
 		// Values consumed for the last time by this step stop mattering now
 		// (the reference player's nextUse skips uses at the current position).
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if pl.lastUseAt[p] == int32(i) && !pl.noMoreUses[p] {
 				pl.noMoreUses[p] = true
 				pl.refreshDead(p)
 			}
 		}
-		pins := pl.newStepPins(g.Predecessors(v))
-		for _, p := range g.Predecessors(v) {
+		pins := pl.newStepPins(g.Pred(v))
+		for _, p := range g.Pred(v) {
 			if err := pl.fetchToRegisters(p, proc, pins); err != nil {
 				return nil, err
 			}
@@ -250,7 +250,7 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 		pl.refreshDead(v)
 		pl.clock++
 		// Free dead values in the register file immediately (no data movement).
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pl.dropIfDead(regs, p)
 		}
 		pl.dropIfDead(regs, v)
@@ -282,11 +282,11 @@ func (pl *player) unit(at Loc) *evictHeap {
 }
 
 func (pl *player) touch(at Loc, v cdag.VertexID) {
-	pl.unit(at).update(v, pl.clock, pl.dead)
+	pl.unit(at).Update(v, pl.clock, pl.dead)
 }
 
 func (pl *player) untouch(at Loc, v cdag.VertexID) {
-	pl.unit(at).remove(v, pl.dead)
+	pl.unit(at).Remove(v, pl.dead)
 }
 
 // computeDead evaluates the eviction-deadness predicate from the game state:
@@ -315,7 +315,7 @@ func (pl *player) refreshDead(v cdag.VertexID) {
 	}
 	pl.dead[v] = d
 	for _, loc := range pl.game.Locations(v) {
-		pl.unit(loc).fix(v, pl.dead)
+		pl.unit(loc).Fix(v, pl.dead)
 	}
 }
 
@@ -357,14 +357,14 @@ func (pl *player) ensureCapacity(at Loc, pinned pinSet) error {
 // pushed back).
 func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
 	h := pl.unit(at)
-	if v, ok := h.peekMin(); ok && !pinned.has(v) {
+	if v, ok := h.PeekMin(); ok && !pinned.has(v) {
 		return v, nil
 	}
 	stV, stT := pl.stashV[:0], pl.stashT[:0]
 	victim := cdag.InvalidVertex
 	var victimT int64
-	for h.size() > 0 {
-		v, t := h.popMin(pl.dead)
+	for h.Size() > 0 {
+		v, t := h.PopMin(pl.dead)
 		if pinned.has(v) {
 			stV = append(stV, v)
 			stT = append(stT, t)
@@ -374,10 +374,10 @@ func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
 		break
 	}
 	if victim != cdag.InvalidVertex {
-		h.update(victim, victimT, pl.dead)
+		h.Update(victim, victimT, pl.dead)
 	}
 	for k := range stV {
-		h.update(stV[k], stT[k], pl.dead)
+		h.Update(stV[k], stT[k], pl.dead)
 	}
 	pl.stashV, pl.stashT = stV, stT
 	if victim == cdag.InvalidVertex {

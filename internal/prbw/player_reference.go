@@ -32,7 +32,7 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 	pl := &refPlayer{game: game, g: g, topo: topo, asg: asg,
 		uses: make([][]int, n), usePtr: make([]int, n)}
 	for i, v := range asg.Order {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pl.uses[p] = append(pl.uses[p], i)
 		}
 	}
@@ -49,10 +49,10 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 		pl.pos = i
 		proc := asg.Proc[i]
 		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pinned[p] = true
 		}
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if err := pl.fetchToRegisters(p, proc, pinned); err != nil {
 				return nil, err
 			}
@@ -67,7 +67,7 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 		pl.touch(regs, v)
 		pl.clock++
 		// Free dead values in the register file immediately (no data movement).
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			pl.dropIfDead(regs, p)
 		}
 		pl.dropIfDead(regs, v)

@@ -247,7 +247,7 @@ func Validate(g *cdag.Graph, order []cdag.VertexID) error {
 		if pos[v] < 0 {
 			return fmt.Errorf("sched: vertex %d missing from schedule", v)
 		}
-		for _, p := range g.Predecessors(id) {
+		for _, p := range g.Pred(id) {
 			if !g.IsInput(p) && pos[p] > pos[v] {
 				return fmt.Errorf("sched: vertex %d scheduled before predecessor %d", v, p)
 			}

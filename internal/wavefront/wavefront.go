@@ -10,7 +10,6 @@ package wavefront
 
 import (
 	"fmt"
-	"sort"
 
 	"cdagio/internal/cdag"
 	"cdagio/internal/graphalg"
@@ -49,7 +48,7 @@ func ScheduleWavefronts(g *cdag.Graph, order []cdag.VertexID) ([]int, error) {
 	live := 0
 	sizes := make([]int, len(order))
 	for i, v := range order {
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			if !fired[p] {
 				return nil, fmt.Errorf("wavefront: vertex %d fired before its predecessor %d", v, p)
 			}
@@ -58,7 +57,7 @@ func ScheduleWavefronts(g *cdag.Graph, order []cdag.VertexID) ([]int, error) {
 		if remaining[v] > 0 {
 			live++
 		}
-		for _, p := range g.Predecessors(v) {
+		for _, p := range g.Pred(v) {
 			remaining[p]--
 			if remaining[p] == 0 {
 				live--
@@ -128,30 +127,86 @@ func Lemma2Bound(wmax, s int) int64 {
 }
 
 // TopCandidates returns up to k vertices of g ordered by decreasing
-// (in-degree + out-degree), a cheap heuristic for where large wavefronts
-// occur (reduction roots and broadcast sources).  It lets callers bound WMax
-// computations on large CDAGs without scanning every vertex.
+// (in-degree + out-degree), with ties broken by increasing vertex ID — a
+// cheap heuristic for where large wavefronts occur (reduction roots and
+// broadcast sources).  It lets callers bound WMax computations on large
+// CDAGs without scanning every vertex.
+//
+// The selection is partial: a size-k min-heap over the streamed degrees
+// followed by an in-place heapsort, O(V log k) time with one allocation for
+// the result (plus a k-sized degree mirror), instead of materializing and
+// fully sorting all |V| ranked entries.
 func TopCandidates(g *cdag.Graph, k int) []cdag.VertexID {
-	type ranked struct {
-		v      cdag.VertexID
-		degree int
+	n := g.NumVertices()
+	if k > n {
+		k = n
 	}
-	all := make([]ranked, 0, g.NumVertices())
-	for _, v := range g.Vertices() {
-		all = append(all, ranked{v: v, degree: g.InDegree(v) + g.OutDegree(v)})
+	if k < 0 {
+		k = 0
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].degree != all[j].degree {
-			return all[i].degree > all[j].degree
+	out := make([]cdag.VertexID, 0, k)
+	if k == 0 {
+		return out
+	}
+	// degs mirrors out: each kept vertex's degree is computed once on entry
+	// into the heap, never re-derived inside comparisons.
+	degs := make([]int32, 0, k)
+	// weaker(i, j): entry i is evicted from the top-k before entry j.  The
+	// heap root is the weakest kept candidate.
+	weaker := func(i, j int) bool {
+		if degs[i] != degs[j] {
+			return degs[i] < degs[j]
 		}
-		return all[i].v < all[j].v
-	})
-	if k > len(all) {
-		k = len(all)
+		return out[i] > out[j]
 	}
-	out := make([]cdag.VertexID, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].v
+	swap := func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+		degs[i], degs[j] = degs[j], degs[i]
+	}
+	siftDown := func(i, size int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < size && weaker(l, min) {
+				min = l
+			}
+			if r < size && weaker(r, min) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			swap(i, min)
+			i = min
+		}
+	}
+	for v := cdag.VertexID(0); int(v) < n; v++ {
+		d := int32(g.InDegree(v) + g.OutDegree(v))
+		if len(out) < k {
+			out = append(out, v)
+			degs = append(degs, d)
+			// Sift up.
+			for i := len(out) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !weaker(i, parent) {
+					break
+				}
+				swap(i, parent)
+				i = parent
+			}
+			continue
+		}
+		if degs[0] < d || (degs[0] == d && out[0] > v) {
+			out[0], degs[0] = v, d
+			siftDown(0, k)
+		}
+	}
+	// In-place heapsort: repeatedly move the weakest remaining entry to the
+	// end, leaving the slice ordered strongest first (degree descending, ties
+	// by increasing vertex ID) — exactly the order a full sort would produce.
+	for end := len(out) - 1; end > 0; end-- {
+		swap(0, end)
+		siftDown(0, end)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package wavefront
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"cdagio/internal/cdag"
@@ -168,5 +170,51 @@ func TestWMaxCandidatesRestriction(t *testing.T) {
 	wcg, _ := WMax(cg.Graph, []cdag.VertexID{cg.AlphaVertex[0], cg.GammaVertex[0]})
 	if wcg < 2*6 {
 		t.Errorf("CG WMax = %d, want >= 12 (two live vectors)", wcg)
+	}
+}
+
+// TestTopCandidatesMatchesFullSort checks the partial-selection heap against
+// a full sort of all ranked vertices, over randomized DAGs and a range of k,
+// including order (degree descending, ties by increasing vertex ID).
+func TestTopCandidatesMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := cdag.NewGraph("rank", n)
+		g.AddVertices(n)
+		for e := 0; e < 3*n; e++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(cdag.VertexID(u), cdag.VertexID(v))
+		}
+		type ranked struct {
+			v      cdag.VertexID
+			degree int
+		}
+		all := make([]ranked, 0, n)
+		for _, v := range g.Vertices() {
+			all = append(all, ranked{v: v, degree: g.InDegree(v) + g.OutDegree(v)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].degree != all[j].degree {
+				return all[i].degree > all[j].degree
+			}
+			return all[i].v < all[j].v
+		})
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 5} {
+			got := TopCandidates(g, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d k=%d: len=%d want %d", trial, k, len(got), want)
+			}
+			for i := range got {
+				if got[i] != all[i].v {
+					t.Fatalf("trial %d k=%d: got[%d]=%d want %d", trial, k, i, got[i], all[i].v)
+				}
+			}
+		}
 	}
 }

@@ -3,6 +3,10 @@
 # in the repo root, so the performance trajectory of the project is tracked
 # PR by PR.  The per-benchmark iteration budget defaults to 1x; override it
 # with `scripts/bench.sh --benchtime 5x`.
+#
+# After writing the new file, a per-benchmark delta table of ns/op against
+# the latest prior BENCH_*.json is printed, so regressions are visible at a
+# glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,6 +16,10 @@ while [ -e "BENCH_${n}.json" ]; do
 	n=$((n + 1))
 done
 out="BENCH_${n}.json"
+prev=""
+if [ "$n" -gt 1 ]; then
+	prev="BENCH_$((n - 1)).json"
+fi
 
 benchtime="1x"
 if [ "${1:-}" = "--benchtime" ] && [ -n "${2:-}" ]; then
@@ -60,3 +68,49 @@ go test -run '^$' -bench . -benchtime "$benchtime" -benchmem ./... | tee "$raw"
 } > "$out"
 
 echo "wrote $out"
+
+# Delta table against the latest prior recording.  Both files are produced by
+# this script, so each benchmark sits on its own line and a regex pull of the
+# name/ns_per_op/allocs fields is reliable.
+if [ -n "$prev" ]; then
+	echo ""
+	echo "delta vs $prev (negative = faster/leaner):"
+	awk -v FS='"' '
+		function num(line, key,   m) {
+			m = line
+			if (!sub(".*\"" key "\": *", "", m)) return ""
+			sub("[,}].*", "", m)
+			return m
+		}
+		/"name":/ {
+			name = $4
+			ns = num($0, "ns_per_op")
+			al = num($0, "allocs/op")
+			if (FNR == NR) {
+				prev_ns[name] = ns
+				prev_al[name] = al
+				next
+			}
+			order[++count] = name
+			cur_ns[name] = ns
+			cur_al[name] = al
+		}
+		END {
+			printf "  %-38s %14s %14s %9s %9s\n", "benchmark", "ns/op", "prev", "dns", "dallocs"
+			for (i = 1; i <= count; i++) {
+				name = order[i]
+				short = name
+				sub("^Benchmark", "", short)
+				if (!(name in prev_ns) || prev_ns[name] == "" || cur_ns[name] == "") {
+					printf "  %-38s %14s %14s %9s %9s\n", short, cur_ns[name], "-", "new", "-"
+					continue
+				}
+				dns = (cur_ns[name] - prev_ns[name]) / prev_ns[name] * 100
+				dal = "-"
+				if (prev_al[name] != "" && cur_al[name] != "" && prev_al[name] + 0 > 0)
+					dal = sprintf("%+.1f%%", (cur_al[name] - prev_al[name]) / prev_al[name] * 100)
+				printf "  %-38s %14s %14s %+8.1f%% %9s\n", short, cur_ns[name], prev_ns[name], dns, dal
+			}
+		}
+	' "$prev" "$out"
+fi
