@@ -443,6 +443,18 @@ func (g *Graph) Pred(v VertexID) []VertexID {
 	return g.predVal[g.predOff[v]:g.predOff[v+1]]
 }
 
+// AdjacencyCSR materializes the graph and returns its compiled CSR adjacency
+// arrays for read-only bulk traversal: Succ(v) is
+// succVal[succOff[v]:succOff[v+1]] and Pred(v) is
+// predVal[predOff[v]:predOff[v+1]].  The arrays are owned by the graph, must
+// not be modified, and are invalidated by the next structural mutation.
+// Hot analysis loops over millions of rows (the w^max cone explorations) use
+// this to skip the per-call materialization and bounds checks of Succ/Pred.
+func (g *Graph) AdjacencyCSR() (succOff []int64, succVal []VertexID, predOff []int64, predVal []VertexID) {
+	g.ensure()
+	return g.succOff, g.succVal, g.predOff, g.predVal
+}
+
 // Successors returns the successors of v.  Deprecated alias for Succ.
 func (g *Graph) Successors(v VertexID) []VertexID { return g.Succ(v) }
 

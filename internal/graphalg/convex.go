@@ -78,6 +78,13 @@ func LatestConvexCutAround(g *cdag.Graph, x cdag.VertexID) ConvexCut {
 // every path from {x} ∪ Anc(x) to Desc(x), so its size is at least this cut
 // value; and the wavefront always contains x, so the bound is never smaller
 // than 1.
+//
+// This is the reference implementation: it materializes the ancestor and
+// descendant sets and solves on the full 2|V|+2-node vertex-split network via
+// MinVertexCut.  Production paths (the w^max engine, wavefront.MinWavefrontAt)
+// use the strip-local CutSolver engine instead, which computes the identical
+// value at a cost proportional to the cone boundary and free strip; tests pin
+// the two against each other.
 func MinWavefrontLowerBound(g *cdag.Graph, x cdag.VertexID) int {
 	desc := Descendants(g, x)
 	if desc.Len() == 0 {

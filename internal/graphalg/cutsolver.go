@@ -1,0 +1,594 @@
+package graphalg
+
+import (
+	"math"
+	"sync"
+
+	"cdagio/internal/cdag"
+)
+
+// CutSolver is the reusable scratch behind every vertex min-cut computation:
+// cone-exploration marks, dense-ID remap tables, and two flowCSR max-flow
+// networks.  A solver owns no goroutines and is not safe for concurrent use;
+// create one per worker (the w^max search does) or use the package-level
+// MinVertexCut / MinDominatorSize / MaxVertexDisjointPaths /
+// MinWavefrontLowerBoundStrip wrappers, which draw solvers from an internal
+// pool so repeated queries stop paying per-call network construction.
+//
+// Two solve paths share the scratch:
+//
+//   - MinVertexCut (and the dominator/disjoint-path wrappers) solve on the
+//     full 2|V|+2-node vertex-split network.  The static part — split arcs
+//     and CDAG edge arcs — is built once per graph and cached; each call
+//     attaches the super source/sink through pre-reserved slack slots,
+//     flips uncuttable split capacities, and afterwards restores exactly the
+//     arcs the solve dirtied.
+//   - MinWavefrontAt solves the Lemma 2 instance strip-locally: the ancestor
+//     cone is contracted into the super source (keeping its boundary
+//     vertices), the descendant cone into the super sink, and only the free
+//     strip between the cones is materialized, so the network — and the
+//     Dinic solve on it — scales with the strip instead of with |V|.  See
+//     the package documentation for why the contraction is exact.
+//
+// Bound values, witnesses and returned cut sets are bit-identical to the
+// historical per-call flow networks in every mode.
+type CutSolver struct {
+	g *cdag.Graph // graph the per-vertex scratch below is sized for
+	n int
+	m int // edge count the cached CSR view below was taken at
+
+	// Cached CSR adjacency of g (read-only, owned by the graph).  Solvers
+	// treat graphs as immutable while bound to them; the cache is refreshed
+	// when the graph identity or its vertex/edge counts change.
+	succOff, predOff []int64
+	succVal, predVal []cdag.VertexID
+
+	// Epoch-stamped per-vertex marks: valid iff the entry equals epoch.
+	epoch    int32
+	ancMark  []int32
+	descMark []int32
+	seenMark []int32
+	coMark   []int32 // free vertex with a directed path into Desc(x)
+	mapEp    []int32 // strip remap: localOf[v] valid iff mapEp[v] == epoch
+	tEp      []int32 // v already has its contracted arc to the super sink
+	localOf  []int32
+
+	stack []cdag.VertexID
+	anc   []cdag.VertexID
+	desc  []cdag.VertexID
+
+	// strip hosts the per-candidate strip-local networks and the fresh-build
+	// fallback of MinVertexCut; full hosts the cached static vertex-split
+	// network.
+	strip flowCSR
+	full  flowCSR
+
+	// Static-network cache state (full).
+	staticG  *cdag.Graph
+	staticN  int
+	staticE  int
+	splitArc []int32 // arc id of each vertex's vIn→vOut unit arc
+	baseArcs int     // static arc count; per-call arcs live beyond it
+	baseLen  []int32 // static row lengths (adjLen reset values)
+	extRows  []int32 // rows whose adjLen grew this call
+}
+
+// NewCutSolver returns an empty solver; its scratch grows to fit the graphs
+// it is given and is recycled across calls.
+func NewCutSolver() *CutSolver { return &CutSolver{} }
+
+// ensureGraph sizes the per-vertex scratch for g and materializes g's CSR
+// arrays (the lazy compilation is not synchronized, and solvers are used from
+// worker pools).
+func (cs *CutSolver) ensureGraph(g *cdag.Graph) {
+	g.Materialize()
+	n, m := g.NumVertices(), g.NumEdges()
+	if cs.g == g && cs.n == n && cs.m == m {
+		return
+	}
+	cs.g = g
+	cs.n = n
+	cs.m = m
+	cs.succOff, cs.succVal, cs.predOff, cs.predVal = g.AdjacencyCSR()
+	cs.ancMark = growInt32(cs.ancMark, n)
+	cs.descMark = growInt32(cs.descMark, n)
+	cs.seenMark = growInt32(cs.seenMark, n)
+	cs.coMark = growInt32(cs.coMark, n)
+	cs.mapEp = growInt32(cs.mapEp, n)
+	cs.tEp = growInt32(cs.tEp, n)
+	cs.localOf = growInt32(cs.localOf, n)
+}
+
+// nextEpoch advances the mark epoch, clearing the stamp arrays on int32
+// rollover so stale stamps can never collide with a future epoch.
+func (cs *CutSolver) nextEpoch() int32 {
+	cs.epoch++
+	if cs.epoch == math.MaxInt32 {
+		for _, s := range [][]int32{cs.ancMark, cs.descMark, cs.seenMark, cs.coMark, cs.mapEp, cs.tEp} {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+		cs.epoch = 1
+	}
+	return cs.epoch
+}
+
+// explore stamps the ancestor and descendant sets of x into the scratch marks
+// and element lists for a fresh epoch.
+func (cs *CutSolver) explore(x cdag.VertexID) {
+	cs.exploreDesc(x)
+	cs.exploreAnc(x)
+}
+
+// exploreDesc starts a fresh epoch and stamps Desc(x) into the descendant
+// marks and list.  Vertices are marked before being pushed, so every CDAG
+// edge is inspected once and the stack never holds duplicates — on the
+// high-fan-in reduction vertices of Krylov CDAGs this halves the traversal's
+// memory traffic.  The w^max search explores the descendant cone alone first:
+// a candidate pruned by its late convex cut never pays for the ancestor cone.
+func (cs *CutSolver) exploreDesc(x cdag.VertexID) {
+	e := cs.nextEpoch()
+	sOff, sVal := cs.succOff, cs.succVal
+
+	cs.desc = cs.desc[:0]
+	stack := cs.stack[:0]
+	for _, w := range sVal[sOff[x]:sOff[x+1]] {
+		if cs.descMark[w] != e {
+			cs.descMark[w] = e
+			cs.desc = append(cs.desc, w)
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range sVal[sOff[u]:sOff[u+1]] {
+			if cs.descMark[w] != e {
+				cs.descMark[w] = e
+				cs.desc = append(cs.desc, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	cs.stack = stack[:0]
+}
+
+// exploreAnc stamps Anc(x) into the ancestor marks and list under the epoch
+// opened by exploreDesc; it must follow an exploreDesc(x) call for the same
+// candidate.
+func (cs *CutSolver) exploreAnc(x cdag.VertexID) {
+	e := cs.epoch
+	pOff, pVal := cs.predOff, cs.predVal
+
+	cs.anc = cs.anc[:0]
+	stack := cs.stack[:0]
+	for _, w := range pVal[pOff[x]:pOff[x+1]] {
+		if cs.ancMark[w] != e {
+			cs.ancMark[w] = e
+			cs.anc = append(cs.anc, w)
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range pVal[pOff[u]:pOff[u+1]] {
+			if cs.ancMark[w] != e {
+				cs.ancMark[w] = e
+				cs.anc = append(cs.anc, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	cs.stack = stack[:0]
+}
+
+// minWavefront computes MinWavefrontLowerBound(g, x) for the explored
+// candidate on the strip-local network.
+//
+// Construction: let A = {x} ∪ Anc(x) and D = Desc(x).  A is closed under
+// predecessors, so no edge enters A from outside and every A→D path leaves A
+// exactly once, through a boundary vertex b (a vertex of A with a successor
+// outside A).  The network therefore keeps only the boundary of A and the
+// free strip reachable from it: super source → bIn for each boundary b, unit
+// split arcs bIn→bOut and uIn→uOut for boundary and strip vertices, edge arcs
+// into the strip, and every edge into D contracted to a single arc to the
+// super sink (D is successor-closed and uncuttable, so its interior can carry
+// no cut vertex and needs no nodes).  The minimum cut value is unchanged: any
+// cut vertex inside A \ boundary covers only paths whose boundary-suffix — an
+// A→D path itself — must independently be covered by boundary or strip
+// vertices, so some minimum cut always lies inside boundary ∪ strip, which is
+// exactly the vertex set this network can cut.
+func (cs *CutSolver) minWavefront(x cdag.VertexID) int {
+	if len(cs.desc) == 0 {
+		return 1
+	}
+	e := cs.epoch
+	f := &cs.strip
+	f.resetStage()
+	sOff, sVal := cs.succOff, cs.succVal
+	pOff, pVal := cs.predOff, cs.predVal
+
+	// Backward sweep: mark the free vertices with a directed path into D,
+	// discovered from D's in-boundary.  Only these can carry flow; dropping
+	// the rest of the strip (no path to the sink) cannot change the min cut
+	// and keeps the network tight even when the incomparable set is large
+	// (shallow stencil sweeps, wide Krylov iterations).
+	stack := cs.stack[:0]
+	for _, d := range cs.desc {
+		for _, p := range pVal[pOff[d]:pOff[d+1]] {
+			if p == x || cs.ancMark[p] == e || cs.descMark[p] == e || cs.coMark[p] == e {
+				continue
+			}
+			cs.coMark[p] = e
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pVal[pOff[u]:pOff[u+1]] {
+			if p == x || cs.ancMark[p] == e || cs.descMark[p] == e || cs.coMark[p] == e {
+				continue
+			}
+			cs.coMark[p] = e
+			stack = append(stack, p)
+		}
+	}
+
+	cnt := int32(0) // strip+boundary vertices materialized so far
+	// Node ids: super source 0, super sink 1, vIn = 2·local+2, vOut = 2·local+3.
+
+	// Boundary pass over A = {x} ∪ Anc(x).  Successors of x are always
+	// outside A (they are descendants), so the generic outside-A test
+	// w != x && ancMark[w] != e covers x too.  A vertex of A only becomes a
+	// network node when some successor is a descendant or live strip vertex —
+	// boundary vertices feeding only dead strip carry no flow.
+	for ai := -1; ai < len(cs.anc); ai++ {
+		v := x
+		if ai >= 0 {
+			v = cs.anc[ai]
+		}
+		succ := sVal[sOff[v]:sOff[v+1]]
+		boundary := false
+		for _, w := range succ {
+			if w != x && cs.ancMark[w] != e && (cs.descMark[w] == e || cs.coMark[w] == e) {
+				boundary = true
+				break
+			}
+		}
+		if !boundary {
+			continue
+		}
+		cs.mapEp[v] = e
+		cs.localOf[v] = cnt
+		out := 2*cnt + 3
+		f.stageEdge(0, out-1, flowInf) // super source → vIn
+		f.stageEdge(out-1, out, 1)     // unit split arc
+		cnt++
+		for _, w := range succ {
+			if w == x || cs.ancMark[w] == e {
+				continue
+			}
+			if cs.descMark[w] == e {
+				if cs.tEp[v] != e {
+					cs.tEp[v] = e
+					f.stageEdge(out, 1, flowInf)
+				}
+				continue
+			}
+			if cs.coMark[w] != e {
+				continue // dead strip: no path to D
+			}
+			wl, fresh := cs.stripLocal(w, e, cnt)
+			if fresh {
+				cnt++
+				stack = append(stack, w)
+			}
+			f.stageEdge(out, 2*wl+2, flowInf)
+		}
+	}
+
+	// Strip sweep: live strip vertices reachable from the boundary, stopping
+	// at D.
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out := 2*cs.localOf[u] + 3
+		f.stageEdge(out-1, out, 1)
+		for _, w := range sVal[sOff[u]:sOff[u+1]] {
+			if cs.descMark[w] == e {
+				if cs.tEp[u] != e {
+					cs.tEp[u] = e
+					f.stageEdge(out, 1, flowInf)
+				}
+				continue
+			}
+			// A is predecessor-closed, so w is free: strip if it reaches D.
+			if cs.coMark[w] != e {
+				continue
+			}
+			wl, fresh := cs.stripLocal(w, e, cnt)
+			if fresh {
+				cnt++
+				stack = append(stack, w)
+			}
+			f.stageEdge(out, 2*wl+2, flowInf)
+		}
+	}
+	cs.stack = stack[:0]
+
+	f.buildFresh(int(2 + 2*cnt))
+	w := int(f.maxFlow(0, 1))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// stripLocal returns w's dense network id, assigning next when w is seen for
+// the first time this epoch.
+func (cs *CutSolver) stripLocal(w cdag.VertexID, e, next int32) (int32, bool) {
+	if cs.mapEp[w] == e {
+		return cs.localOf[w], false
+	}
+	cs.mapEp[w] = e
+	cs.localOf[w] = next
+	return next, true
+}
+
+// MinWavefrontAt returns MinWavefrontLowerBound(g, x) computed on the
+// strip-local engine: identical value, cost proportional to the candidate's
+// cone boundary and free strip instead of the whole graph.
+func (cs *CutSolver) MinWavefrontAt(g *cdag.Graph, x cdag.VertexID) int {
+	cs.ensureGraph(g)
+	cs.explore(x)
+	return cs.minWavefront(x)
+}
+
+// ensureStatic builds (or revalidates) the cached static vertex-split network
+// for g: unit split arcs vIn→vOut plus infinite-capacity edge arcs
+// vOut→wIn, with slack reserved in every row for the per-call super
+// source/sink attachments.  Node numbering matches the historical network:
+// vIn = 2v, vOut = 2v+1, super source 2n, super sink 2n+1.
+func (cs *CutSolver) ensureStatic(g *cdag.Graph) {
+	n, e := g.NumVertices(), g.NumEdges()
+	if cs.staticG == g && cs.staticN == n && cs.staticE == e {
+		return
+	}
+	cs.staticG, cs.staticN, cs.staticE = g, n, e
+	f := &cs.full
+	nn := 2*n + 2
+	f.ensureNodes(nn)
+	f.trackDirty = true
+	f.dirty = f.dirty[:0]
+	cs.extRows = cs.extRows[:0]
+
+	// Row capacities: static arc count plus slack — one slot per vIn row (the
+	// residual of super-source→vIn), one per vOut row (vOut→super-sink), and
+	// n each for the super source and sink rows.
+	f.adjOff = growInt32(f.adjOff[:0], nn+1)
+	f.adjLen = growInt32(f.adjLen[:0], nn)
+	f.adjOff[0] = 0
+	for v := 0; v < n; v++ {
+		id := cdag.VertexID(v)
+		f.adjOff[2*v+1] = f.adjOff[2*v] + int32(1+g.InDegree(id)) + 1
+		f.adjOff[2*v+2] = f.adjOff[2*v+1] + int32(1+g.OutDegree(id)) + 1
+	}
+	f.adjOff[nn-1] = f.adjOff[nn-2] + int32(n)
+	f.adjOff[nn] = f.adjOff[nn-1] + int32(n)
+
+	na := 2 * (n + e)
+	cs.baseArcs = na
+	if cap(f.to) < na {
+		f.to = make([]int32, na)
+		f.cap = make([]int64, na)
+	} else {
+		f.to = f.to[:na]
+		f.cap = f.cap[:na]
+	}
+	f.adjArc = growInt32(f.adjArc[:0], int(f.adjOff[nn]))
+	cs.splitArc = growInt32(cs.splitArc[:0], n)
+	for i := range f.adjLen {
+		f.adjLen[i] = 0
+	}
+	place := func(u, a int32) {
+		f.adjArc[f.adjOff[u]+f.adjLen[u]] = a
+		f.adjLen[u]++
+	}
+	arc := int32(0)
+	for v := 0; v < n; v++ {
+		vIn, vOut := int32(2*v), int32(2*v+1)
+		cs.splitArc[v] = arc
+		f.to[arc], f.cap[arc] = vOut, 1
+		f.to[arc+1], f.cap[arc+1] = vIn, 0
+		place(vIn, arc)
+		place(vOut, arc+1)
+		arc += 2
+		for _, w := range g.Succ(cdag.VertexID(v)) {
+			wIn := int32(2 * w)
+			f.to[arc], f.cap[arc] = wIn, flowInf
+			f.to[arc+1], f.cap[arc+1] = vOut, 0
+			place(vOut, arc)
+			place(wIn, arc+1)
+			arc += 2
+		}
+	}
+	f.cap0 = append(f.cap0[:0], f.cap[:na]...)
+	cs.baseLen = append(cs.baseLen[:0], f.adjLen...)
+}
+
+// resetFull restores the cached static network to its pristine state:
+// capacities of the arcs the previous solve dirtied, row lengths of the rows
+// that grew extension arcs, and the arc arena truncated to the static part.
+func (cs *CutSolver) resetFull() {
+	f := &cs.full
+	for _, ai := range f.dirty {
+		if int(ai) < cs.baseArcs {
+			f.cap[ai] = f.cap0[ai]
+			f.cap[ai^1] = f.cap0[ai^1]
+		}
+	}
+	f.dirty = f.dirty[:0]
+	for _, u := range cs.extRows {
+		f.adjLen[u] = cs.baseLen[u]
+	}
+	cs.extRows = cs.extRows[:0]
+	f.to = f.to[:cs.baseArcs]
+	f.cap = f.cap[:cs.baseArcs]
+}
+
+// addExt attaches a per-call infinite-capacity arc u→v into the slack slots
+// of the cached static network.
+func (cs *CutSolver) addExt(u, v int32) {
+	f := &cs.full
+	a := int32(len(f.to))
+	f.to = append(f.to, v, u)
+	f.cap = append(f.cap, flowInf, 0)
+	f.adjArc[f.adjOff[u]+f.adjLen[u]] = a
+	f.adjLen[u]++
+	f.adjArc[f.adjOff[v]+f.adjLen[v]] = a + 1
+	f.adjLen[v]++
+	cs.extRows = append(cs.extRows, u, v)
+}
+
+// MinVertexCut is the reusable-scratch equivalent of the package-level
+// MinVertexCut: same contract, same cut sets, no per-call network build on
+// repeated queries against the same graph.
+func (cs *CutSolver) MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexID, opts CutOptions) (int, []cdag.VertexID) {
+	cs.ensureGraph(g)
+	n := cs.n
+	if n == 0 || len(sources) == 0 || len(targets) == 0 {
+		return 0, nil
+	}
+	// Mark targets (for the degenerate-overlap check) and detect duplicate
+	// endpoints, which the slack-slot fast path cannot host.
+	te := cs.nextEpoch()
+	dups := false
+	for _, tgt := range targets {
+		if cs.seenMark[tgt] == te {
+			dups = true
+		}
+		cs.seenMark[tgt] = te
+	}
+	// A vertex that is both a source and a target makes separation impossible
+	// unless it can be cut; handle the degenerate overlap up front.
+	for _, s := range sources {
+		if cs.seenMark[s] == te && opts.Uncuttable != nil && opts.Uncuttable(s) {
+			return -1, nil
+		}
+	}
+	se := cs.nextEpoch()
+	for _, src := range sources {
+		if cs.seenMark[src] == se {
+			dups = true
+		}
+		cs.seenMark[src] = se
+	}
+
+	var f *flowCSR
+	s, t := int32(2*n), int32(2*n+1)
+	if dups {
+		f = cs.freshVertexSplit(g, sources, targets, opts)
+	} else {
+		cs.ensureStatic(g)
+		cs.resetFull()
+		f = &cs.full
+		if opts.Uncuttable != nil {
+			for v := 0; v < n; v++ {
+				if opts.Uncuttable(cdag.VertexID(v)) {
+					a := cs.splitArc[v]
+					f.cap[a] = flowInf
+					f.dirty = append(f.dirty, a)
+				}
+			}
+		}
+		for _, src := range sources {
+			cs.addExt(s, int32(2*src))
+		}
+		for _, tgt := range targets {
+			cs.addExt(int32(2*tgt)+1, t)
+		}
+	}
+	flow := f.maxFlow(s, t)
+	if flow >= flowInf {
+		return -1, nil
+	}
+	// Recover the cut: a vertex v is a cut vertex when its vIn is reachable
+	// from the source side of the residual graph but its vOut is not.
+	f.residualReach(s)
+	var cut []cdag.VertexID
+	for v := 0; v < n; v++ {
+		if f.reached(int32(2*v)) && !f.reached(int32(2*v+1)) {
+			cut = append(cut, cdag.VertexID(v))
+		}
+	}
+	return int(flow), cut
+}
+
+// freshVertexSplit builds a one-off vertex-split network in the strip scratch
+// with exactly the historical arc emission order; it hosts the rare calls the
+// cached network cannot (duplicate source/target entries).
+func (cs *CutSolver) freshVertexSplit(g *cdag.Graph, sources, targets []cdag.VertexID, opts CutOptions) *flowCSR {
+	n := cs.n
+	f := &cs.strip
+	f.resetStage()
+	for v := 0; v < n; v++ {
+		id := cdag.VertexID(v)
+		capV := int64(1)
+		if opts.Uncuttable != nil && opts.Uncuttable(id) {
+			capV = flowInf
+		}
+		f.stageEdge(int32(2*v), int32(2*v+1), capV)
+		for _, w := range g.Succ(id) {
+			f.stageEdge(int32(2*v+1), int32(2*w), flowInf)
+		}
+	}
+	s, t := int32(2*n), int32(2*n+1)
+	for _, src := range sources {
+		f.stageEdge(s, int32(2*src), flowInf)
+	}
+	for _, tgt := range targets {
+		f.stageEdge(int32(2*tgt)+1, t, flowInf)
+	}
+	f.buildFresh(2*n + 2)
+	return f
+}
+
+// MaxVertexDisjointPaths is MaxVertexDisjointPaths on this solver's scratch.
+func (cs *CutSolver) MaxVertexDisjointPaths(g *cdag.Graph, sources, targets []cdag.VertexID) int {
+	k, _ := cs.MinVertexCut(g, sources, targets, CutOptions{})
+	return k
+}
+
+// MinDominatorSize is MinDominatorSize on this solver's scratch.
+func (cs *CutSolver) MinDominatorSize(g *cdag.Graph, target *cdag.VertexSet) (int, []cdag.VertexID) {
+	inputs := g.Inputs()
+	if len(inputs) == 0 || target.Len() == 0 {
+		return 0, nil
+	}
+	k, cut := cs.MinVertexCut(g, inputs, target.Elements(), CutOptions{})
+	if k < 0 {
+		return 0, nil
+	}
+	return k, cut
+}
+
+// solverPool recycles CutSolvers behind the package-level wrappers, so
+// repeated cut queries — the dominator sweeps of the 2S-partition bound, the
+// per-piece wavefronts of the Theorem 8/9 decompositions — reuse networks and
+// traversal scratch instead of rebuilding them per call.
+var solverPool = sync.Pool{New: func() any { return NewCutSolver() }}
+
+func acquireSolver() *CutSolver   { return solverPool.Get().(*CutSolver) }
+func releaseSolver(cs *CutSolver) { solverPool.Put(cs) }
+
+// MinWavefrontLowerBoundStrip returns MinWavefrontLowerBound(g, x) computed
+// on the pooled strip-local engine.  The value is always identical to the
+// reference full-network computation; only the cost differs.
+func MinWavefrontLowerBoundStrip(g *cdag.Graph, x cdag.VertexID) int {
+	cs := acquireSolver()
+	defer releaseSolver(cs)
+	return cs.MinWavefrontAt(g, x)
+}

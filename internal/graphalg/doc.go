@@ -1,9 +1,52 @@
 // Package graphalg provides the graph algorithms that underpin the
 // data-movement lower-bound machinery: reachability (ancestor/descendant
-// sets), maximum flow (Dinic), vertex min-cuts via vertex splitting,
-// minimum dominator sets, convex (S,T) cuts and vertex-disjoint path counts.
+// sets), maximum flow (Dinic over flat CSR arc arrays), vertex min-cuts via
+// vertex splitting, minimum dominator sets, convex (S,T) cuts and
+// vertex-disjoint path counts.
 //
 // All algorithms operate on *cdag.Graph values and treat them as read-only.
-// The flow network used for vertex cuts is built on the fly; it never mutates
-// the input CDAG.
+// Flow networks never mutate the input CDAG.
+//
+// # The strip-local min-cut engine
+//
+// The hot computation of the package is the Lemma 2 wavefront bound: for a
+// candidate vertex x, the minimum vertex cut separating A = {x} ∪ Anc(x)
+// from D = Desc(x) with D uncuttable.  Solved naively this is a max-flow on
+// the full vertex-split network — 2|V|+2 nodes for every candidate, even
+// though the cut itself can only fall in the thin "strip" between the two
+// cones.  CutSolver therefore builds the flow instance strip-locally:
+//
+//   - A is closed under predecessors, so no edge enters A from outside and
+//     every A→D path leaves A exactly once, through a boundary vertex b of A
+//     (a vertex with a successor outside A).  The suffix of the path from b
+//     onward visits only b, free strip vertices, and D.
+//   - The interior of A needs no nodes.  A cut vertex v ∈ A that is not a
+//     boundary vertex covers only paths that later pass through a boundary
+//     vertex b — but the suffix starting at b is itself an A→D path (b ∈ A)
+//     avoiding v, so it must independently be covered by a vertex of
+//     {b} ∪ strip.  The vertices of any cut C that lie in boundary ∪ strip
+//     therefore already cover every A→D path, and some minimum cut lies
+//     entirely inside boundary ∪ strip.  Contracting A's interior into the
+//     super source (attaching it to each boundary vertex's vIn, keeping the
+//     boundary's unit split arcs) preserves the min-cut value exactly.
+//   - D is successor-closed and uncuttable: once a path enters D it stays
+//     there, and no cut vertex can be chosen inside it.  Every edge into D is
+//     therefore contracted into a single infinite arc to the super sink and
+//     D's interior needs no nodes either.
+//
+// The resulting network has 2·(|boundary| + |strip|) + 2 nodes, where the
+// strip is discovered by a forward sweep from the boundary that stops at D —
+// so per-candidate cost scales with the strip, not with |V|.  On top of the
+// contraction, the flow core (flowCSR) keeps per-solve cost allocation-free:
+// flat CSR arc storage, an iterative current-arc DFS (recursion on long-path
+// CDAGs such as million-vertex stencil chains would reach O(V) depth),
+// epoch-stamped BFS levels, and dirty-arc capacity restoration for networks
+// cached across solves.
+//
+// MinVertexCut, MinDominatorSize, MaxVertexDisjointPaths and the wavefront
+// facades all route through pooled CutSolvers; results — cut values, cut
+// sets, bounds and witnesses — are bit-identical to the historical per-call
+// slice-of-slices networks, which survive as the reference implementations
+// (MinWavefrontLowerBound, MaxMinWavefrontLowerBoundSerial) that the
+// equivalence tests compare against.
 package graphalg

@@ -16,14 +16,22 @@ func Ancestors(g *cdag.Graph, v cdag.VertexID) *cdag.VertexSet {
 
 func reach(g *cdag.Graph, v cdag.VertexID, next func(cdag.VertexID) []cdag.VertexID) *cdag.VertexSet {
 	seen := cdag.NewVertexSet(g.NumVertices())
-	stack := append([]cdag.VertexID(nil), next(v)...)
+	var stack []cdag.VertexID
+	for _, w := range next(v) {
+		if seen.Add(w) {
+			stack = append(stack, w)
+		}
+	}
+	// Mark before pushing (as the CutSolver cone sweeps do): every edge is
+	// inspected once and the stack never holds duplicates.
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if !seen.Add(u) {
-			continue
+		for _, w := range next(u) {
+			if seen.Add(w) {
+				stack = append(stack, w)
+			}
 		}
-		stack = append(stack, next(u)...)
 	}
 	return seen
 }

@@ -1,6 +1,7 @@
 package graphalg
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,20 +24,38 @@ type WMaxOptions struct {
 	DisablePruning bool
 }
 
-// prunedMark flags a candidate skipped by the upper-bound prune.  It can never
-// collide with a real bound, which is at least 1.
-const prunedMark = int32(-1)
+// packEntry encodes a (bound, candidate index) pair into one int64 so the
+// search can maintain "largest bound, earliest candidate attaining it" with a
+// single atomic CAS-max: the bound occupies the high 32 bits and the
+// bit-inverted index the low 32, making the packed order exactly "larger
+// bound first, then smaller index".  The same packing turns the prune test
+// into one comparison: a candidate with upper bound u at index i is
+// irrelevant — it can neither raise the bound nor steal the witness — exactly
+// when packEntry(u, i) < best, which covers both u < bound and the tie
+// u == bound at a later index.
+func packEntry(bound int, idx int) int64 {
+	return int64(bound)<<32 | int64(math.MaxInt32-int32(idx))
+}
+
+// unpackEntry inverts packEntry.
+func unpackEntry(e int64) (bound int, idx int) {
+	return int(e >> 32), int(math.MaxInt32 - int32(e&0xffffffff))
+}
 
 // MaxMinWavefrontLowerBoundOpts is the engine behind
 // MaxMinWavefrontLowerBound: a parallel search over the candidate vertices
-// with per-worker reusable scratch (flow network, traversal stacks, epoch-
-// stamped vertex marks) and upper-bound pruning.
+// with per-worker CutSolver scratch (strip-local min-cut networks, epoch-
+// stamped vertex marks, reusable traversal stacks) and upper-bound pruning.
 //
 // The result is exactly that of MaxMinWavefrontLowerBoundSerial — the same
 // bound value and the same witness vertex (the first candidate attaining the
-// maximum), independent of worker count and timing: pruning only skips
-// candidates whose cheap upper bound is strictly below the best value already
-// established, and such candidates can neither raise the bound nor tie it.
+// maximum), independent of worker count and timing.  Pruning compares packed
+// (upper bound, candidate index) entries against the packed best-so-far (see
+// packEntry): a candidate is skipped only when it provably cannot raise the
+// bound AND cannot displace the witness — either its upper bound is strictly
+// below the established best, or it could at most tie it at a later
+// candidate index than a bound-attaining candidate already solved.  Skipped
+// candidates therefore never affect the packed maximum the search returns.
 func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
 	// Compile any staged edges into the CSR arrays before the workers start:
 	// the lazy materialization is not synchronized.
@@ -56,74 +75,91 @@ func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, op
 	}
 
 	nc := len(candidates)
-	lb := make([]int32, nc)
 
-	// Processing order: with pruning enabled, first compute a cheap achievable
-	// wavefront size for every candidate and scan in decreasing upper-bound
+	// Processing order: with pruning enabled, compute the schedule-wavefront
+	// upper bound for every candidate — one O(V+E) sweep for all of them, no
+	// per-candidate cone exploration — and scan in decreasing upper-bound
 	// order.  The first few max-flow solves then establish a large best-so-far
-	// that prunes the long tail of candidates outright, and the search can
-	// stop paying for Dinic runs as soon as the remaining upper bounds drop
-	// below it.
+	// that prunes the long tail of candidates outright: most are rejected on
+	// the precomputed bound alone, the rest get two more chances to be
+	// rejected on the tighter convex-cut bounds (descendant-side first, so a
+	// candidate pruned by its late cut never explores its ancestor cone), and
+	// only what survives all three tiers pays for a Dinic solve.
 	order := make([]int, nc)
 	for i := range order {
 		order[i] = i
 	}
 	var ub []int32
 	if !opts.DisablePruning {
-		ub = make([]int32, nc)
-		parallelFor(workers, nc, func(sc *wmaxScratch, i int) {
-			sc.explore(candidates[i])
-			ub[i] = int32(sc.upperBound(candidates[i]))
-		}, func() *wmaxScratch { return newWMaxScratch(g) })
+		ub = scheduleWavefrontUB(g, candidates)
 		sort.Slice(order, func(a, b int) bool {
 			if ub[order[a]] != ub[order[b]] {
 				return ub[order[a]] > ub[order[b]]
 			}
 			return order[a] < order[b]
 		})
+		anchorSeeds(g, candidates, order)
 	}
 
+	// best holds packEntry(bound, index of the earliest candidate attaining
+	// it) and only ever increases in packed order.  Pruning a candidate when
+	// packEntry(itsUpperBound, itsIndex) < best is exact: the candidate's
+	// true bound can neither exceed its upper bound nor — on a tie — displace
+	// an earlier witness, so the final packed maximum is unchanged whether or
+	// not it is solved.  That makes bound and witness independent of worker
+	// count and timing even though the set of solved candidates is not.
 	var best atomic.Int64
-	parallelFor(workers, nc, func(sc *wmaxScratch, k int) {
-		i := order[k]
-		x := candidates[i]
-		if ub != nil && int64(ub[i]) < best.Load() {
-			// lb(x) <= ub(x) < best: x cannot attain the final bound, so
-			// skipping it changes neither the value nor the witness.  The
-			// strict comparison is what makes the witness deterministic:
-			// candidates that could tie the maximum are always solved, so the
-			// final first-in-candidate-order scan is timing-independent.
-			lb[i] = prunedMark
-			return
-		}
-		sc.explore(x)
-		w := int32(sc.minWavefront(x))
-		lb[i] = w
+	record := func(w, i int) {
+		e := packEntry(w, i)
 		for {
 			cur := best.Load()
-			if int64(w) <= cur || best.CompareAndSwap(cur, int64(w)) {
-				break
+			if e <= cur || best.CompareAndSwap(cur, e) {
+				return
 			}
 		}
-	}, func() *wmaxScratch { return newWMaxScratch(g) })
-
-	bestW := int32(best.Load())
-	for i := range candidates {
-		if lb[i] == bestW {
-			return int(bestW), candidates[i]
-		}
 	}
-	// Unreachable: at least one candidate is always computed.
-	return int(bestW), cdag.InvalidVertex
+	parallelFor(workers, nc, func(cs *CutSolver, k int) {
+		i := order[k]
+		x := candidates[i]
+		if ub != nil && packEntry(int(ub[i]), i) < best.Load() {
+			return
+		}
+		cs.exploreDesc(x)
+		if len(cs.desc) == 0 {
+			// No descendants: the wavefront is {x} and the bound is exactly 1.
+			record(1, i)
+			return
+		}
+		if ub != nil {
+			if packEntry(cs.lateBound(), i) < best.Load() {
+				return
+			}
+			cs.exploreAnc(x)
+			if packEntry(cs.earlyBound(x), i) < best.Load() {
+				return
+			}
+		} else {
+			cs.exploreAnc(x)
+		}
+		record(cs.minWavefront(x), i)
+	}, g)
+
+	bound, idx := unpackEntry(best.Load())
+	if bound == 0 {
+		// Unreachable: at least one candidate is always solved.
+		return 0, cdag.InvalidVertex
+	}
+	return bound, candidates[idx]
 }
 
 // parallelFor runs body(i) for i in [0, n) over the given number of worker
-// goroutines, each with its own scratch instance.
-func parallelFor(workers, n int, body func(*wmaxScratch, int), mkScratch func() *wmaxScratch) {
+// goroutines, each with its own CutSolver bound to g.
+func parallelFor(workers, n int, body func(*CutSolver, int), g *cdag.Graph) {
 	if workers <= 1 {
-		sc := mkScratch()
+		cs := NewCutSolver()
+		cs.ensureGraph(g)
 		for i := 0; i < n; i++ {
-			body(sc, i)
+			body(cs, i)
 		}
 		return
 	}
@@ -133,109 +169,59 @@ func parallelFor(workers, n int, body func(*wmaxScratch, int), mkScratch func() 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			sc := mkScratch()
+			cs := NewCutSolver()
+			cs.ensureGraph(g)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				body(sc, i)
+				body(cs, i)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// wmaxScratch is the per-worker reusable state of the w^max search: epoch-
-// stamped ancestor/descendant marks, traversal stacks, and a Dinic flow
-// network whose static part (vertex-splitting arcs and CDAG edge arcs) is
-// built once and reset in O(E) per candidate instead of reallocated.
-type wmaxScratch struct {
-	g *cdag.Graph
-	n int
-
-	epoch    int32
-	ancMark  []int32
-	descMark []int32
-	seenMark []int32
-	stack    []cdag.VertexID
-	anc      []cdag.VertexID
-	desc     []cdag.VertexID
-
-	net      *flowNetwork
-	cap0     []int64 // pristine capacities of the static arcs
-	splitArc []int32 // arc index of each vertex's vIn->vOut edge
-	baseArcs int
-	baseHead []int32 // static head[] lengths
-	extNodes []int32 // nodes whose head[] grew this candidate
-}
-
-func newWMaxScratch(g *cdag.Graph) *wmaxScratch {
-	n := g.NumVertices()
-	return &wmaxScratch{
-		g:        g,
-		n:        n,
-		ancMark:  make([]int32, n),
-		descMark: make([]int32, n),
-		seenMark: make([]int32, n),
-	}
-}
-
-// explore stamps the ancestor and descendant sets of x into the scratch marks
-// and element lists for the current epoch.
-func (sc *wmaxScratch) explore(x cdag.VertexID) {
-	sc.epoch++
-	e := sc.epoch
-	g := sc.g
-
-	sc.desc = sc.desc[:0]
-	sc.stack = append(sc.stack[:0], g.Succ(x)...)
-	for len(sc.stack) > 0 {
-		u := sc.stack[len(sc.stack)-1]
-		sc.stack = sc.stack[:len(sc.stack)-1]
-		if sc.descMark[u] == e {
-			continue
+// lateBound returns the boundary size of the latest convex cut around the
+// explored candidate (T = Desc(x)): the distinct non-descendant predecessors
+// of descendants.  x is always among them — every successor of x is a
+// descendant — so the value needs no explicit max with 1.  It only requires
+// the descendant cone (exploreDesc), which is what lets the search prune on
+// it before paying for the ancestor cone.
+func (cs *CutSolver) lateBound() int {
+	e := cs.epoch
+	pOff, pVal := cs.predOff, cs.predVal
+	late := 0
+	for _, d := range cs.desc {
+		for _, p := range pVal[pOff[d]:pOff[d+1]] {
+			if cs.descMark[p] != e && cs.seenMark[p] != e {
+				cs.seenMark[p] = e
+				late++
+			}
 		}
-		sc.descMark[u] = e
-		sc.desc = append(sc.desc, u)
-		sc.stack = append(sc.stack, g.Succ(u)...)
 	}
-
-	sc.anc = sc.anc[:0]
-	sc.stack = append(sc.stack[:0], g.Pred(x)...)
-	for len(sc.stack) > 0 {
-		u := sc.stack[len(sc.stack)-1]
-		sc.stack = sc.stack[:len(sc.stack)-1]
-		if sc.ancMark[u] == e {
-			continue
-		}
-		sc.ancMark[u] = e
-		sc.anc = append(sc.anc, u)
-		sc.stack = append(sc.stack, g.Pred(u)...)
-	}
+	return late
 }
 
-// upperBound computes WavefrontUpperBound(g, x) from the current epoch's
-// marks: the smaller boundary of the earliest and latest convex cuts around x,
-// always counting x itself.
-func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
-	e := sc.epoch
-	g := sc.g
-
-	// Earliest cut: S = {x} ∪ Anc(x).  Boundary = vertices of S with a
-	// successor outside S.
+// earlyBound returns the boundary size of the earliest convex cut around the
+// explored candidate (S = {x} ∪ Anc(x)): the vertices of S with a successor
+// outside S, always counting x itself.  Requires both cones' marks.
+func (cs *CutSolver) earlyBound(x cdag.VertexID) int {
+	e := cs.epoch
+	sOff, sVal := cs.succOff, cs.succVal
 	early := 0
 	xInBoundary := false
-	for _, w := range g.Succ(x) {
-		if w != x && sc.ancMark[w] != e {
+	for _, w := range sVal[sOff[x]:sOff[x+1]] {
+		if w != x && cs.ancMark[w] != e {
 			early++
 			xInBoundary = true
 			break
 		}
 	}
-	for _, v := range sc.anc {
-		for _, w := range g.Succ(v) {
-			if w != x && sc.ancMark[w] != e {
+	for _, v := range cs.anc {
+		for _, w := range sVal[sOff[v]:sOff[v+1]] {
+			if w != x && cs.ancMark[w] != e {
 				early++
 				break
 			}
@@ -244,27 +230,20 @@ func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
 	if !xInBoundary {
 		early++ // x belongs to the wavefront by definition
 	}
+	return early
+}
 
-	best := early
-	if len(sc.desc) > 0 {
-		// Latest cut: T = Desc(x).  Boundary = distinct non-descendant
-		// predecessors of descendants; x is always among them because every
-		// successor of x is a descendant.
-		late := 0
-		for _, d := range sc.desc {
-			for _, p := range g.Pred(d) {
-				if sc.descMark[p] != e && sc.seenMark[p] != e {
-					sc.seenMark[p] = e
-					late++
-				}
-			}
-		}
-		if late < best {
-			best = late
-		}
-	} else if 1 < best {
+// upperBound computes WavefrontUpperBound(g, x) from the current epoch's
+// marks: the smaller boundary of the earliest and latest convex cuts around x,
+// always counting x itself.
+func (cs *CutSolver) upperBound(x cdag.VertexID) int {
+	if len(cs.desc) == 0 {
 		// With no descendants the latest cut has boundary {x}.
-		best = 1
+		return 1
+	}
+	best := cs.earlyBound(x)
+	if late := cs.lateBound(); late < best {
+		best = late
 	}
 	if best < 1 {
 		best = 1
@@ -272,80 +251,94 @@ func (sc *wmaxScratch) upperBound(x cdag.VertexID) int {
 	return best
 }
 
-// minWavefront computes MinWavefrontLowerBound(g, x) for the explored
-// candidate by resetting the shared flow network and running Dinic on the
-// vertex-split min-cut instance with Desc(x) uncuttable.
-func (sc *wmaxScratch) minWavefront(x cdag.VertexID) int {
-	if len(sc.desc) == 0 {
-		return 1
-	}
-	sc.ensureNet()
-	net := sc.net
-
-	// Reset to the static network: truncate per-candidate arcs, restore
-	// pristine capacities.
-	net.to = net.to[:sc.baseArcs]
-	net.cap = net.cap[:sc.baseArcs]
-	copy(net.cap, sc.cap0)
-	for _, u := range sc.extNodes {
-		net.head[u] = net.head[u][:sc.baseHead[u]]
-	}
-	sc.extNodes = sc.extNodes[:0]
-
-	// Descendants may not be cut: infinite capacity on their split arc.
-	for _, d := range sc.desc {
-		net.cap[sc.splitArc[d]] = flowInf
-	}
-
-	// Super source to {x} ∪ Anc(x), descendants to super sink.
-	s, t := 2*sc.n, 2*sc.n+1
-	sc.addExtEdge(s, 2*int(x))
-	for _, a := range sc.anc {
-		sc.addExtEdge(s, 2*int(a))
-	}
-	for _, d := range sc.desc {
-		sc.addExtEdge(2*int(d)+1, t)
-	}
-
-	flow := net.maxFlow(s, t)
-	w := int(flow)
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// ensureNet builds the static part of the vertex-split flow network on first
-// use: vIn->vOut split arcs with unit capacity and vOut->wIn arcs with
-// infinite capacity for every CDAG edge.  Node numbering matches MinVertexCut:
-// vIn = 2v, vOut = 2v+1, super source 2n, super sink 2n+1.
-func (sc *wmaxScratch) ensureNet() {
-	if sc.net != nil {
+// anchorSeeds moves a small degree-ranked seed set to the front of the
+// processing order: the candidates with the largest in+out degree (ties by
+// smaller index), solved first so the best-so-far jumps to (or near) the
+// final maximum immediately.  On the paper's workloads the maximum wavefront
+// sits at reduction roots whose schedule wavefront is unremarkable but whose
+// degree is extreme — without the anchor, the broad crowd of mid-bound
+// candidates is processed before the true maximum is known and cannot be
+// pruned.  The order is purely a performance heuristic: the packed-maximum
+// search returns an identical bound and witness under any processing order.
+func anchorSeeds(g *cdag.Graph, candidates []cdag.VertexID, order []int) {
+	const seedCount = 16
+	if len(order) <= seedCount {
 		return
 	}
-	n := sc.n
-	net := newFlowNetwork(2*n + 2)
-	sc.splitArc = make([]int32, n)
-	for v := 0; v < n; v++ {
-		sc.splitArc[v] = int32(len(net.to))
-		net.addEdge(2*v, 2*v+1, 1)
-		for _, w := range sc.g.Succ(cdag.VertexID(v)) {
-			net.addEdge(2*v+1, 2*int(w), flowInf)
+	sOff, _, pOff, _ := g.AdjacencyCSR()
+	type seed struct {
+		deg int64
+		idx int
+	}
+	var seeds []seed
+	for i, x := range candidates {
+		d := (sOff[x+1] - sOff[x]) + (pOff[x+1] - pOff[x])
+		if len(seeds) == seedCount && d <= seeds[len(seeds)-1].deg {
+			continue
+		}
+		pos := len(seeds)
+		if pos < seedCount {
+			seeds = append(seeds, seed{})
+		} else {
+			pos--
+		}
+		for pos > 0 && seeds[pos-1].deg < d {
+			seeds[pos] = seeds[pos-1]
+			pos--
+		}
+		seeds[pos] = seed{d, i}
+	}
+	isSeed := make(map[int]bool, len(seeds))
+	for _, s := range seeds {
+		isSeed[s.idx] = true
+	}
+	reordered := make([]int, 0, len(order))
+	for _, s := range seeds {
+		reordered = append(reordered, s.idx)
+	}
+	for _, o := range order {
+		if !isSeed[o] {
+			reordered = append(reordered, o)
 		}
 	}
-	sc.baseArcs = len(net.to)
-	sc.cap0 = append([]int64(nil), net.cap...)
-	sc.baseHead = make([]int32, net.n)
-	for u := range net.head {
-		sc.baseHead[u] = int32(len(net.head[u]))
-	}
-	sc.net = net
+	copy(order, reordered)
 }
 
-// addExtEdge adds a per-candidate infinite-capacity arc, recording both
-// endpoints so the reset can truncate their adjacency back to the static
-// network.
-func (sc *wmaxScratch) addExtEdge(u, v int) {
-	sc.extNodes = append(sc.extNodes, int32(u), int32(v))
-	sc.net.addEdge(u, v, flowInf)
+// scheduleWavefrontUB returns, for every candidate x, the wavefront size of a
+// fixed topological schedule of g at the moment x fires.  The fired prefix
+// S_x is predecessor-closed and contains {x} ∪ Anc(x), its complement
+// contains Desc(x), so (S_x, V∖S_x) is a valid convex cut around x and its
+// wavefront — the fired vertices with unfired successors, plus x itself — is
+// achievable: its size upper-bounds |W^min(x)| and hence the min-cut lower
+// bound.  One O(V+E) sweep covers every candidate, which is what lets the
+// w^max search reject most candidates without ever exploring their cones.
+func scheduleWavefrontUB(g *cdag.Graph, candidates []cdag.VertexID) []int32 {
+	n := g.NumVertices()
+	order := g.MustTopoOrder()
+	sOff, _, pOff, pVal := g.AdjacencyCSR()
+	remaining := make([]int32, n) // unfired successors of each fired vertex
+	wfAt := make([]int32, n)
+	live := 0
+	for _, v := range order {
+		remaining[v] = int32(sOff[v+1] - sOff[v])
+		if remaining[v] > 0 {
+			live++
+		}
+		for _, p := range pVal[pOff[v]:pOff[v+1]] {
+			remaining[p]--
+			if remaining[p] == 0 {
+				live--
+			}
+		}
+		w := live
+		if remaining[v] == 0 {
+			w++ // v is in its wavefront even with no unfired successors
+		}
+		wfAt[v] = int32(w)
+	}
+	ub := make([]int32, len(candidates))
+	for i, x := range candidates {
+		ub[i] = wfAt[x]
+	}
+	return ub
 }

@@ -97,7 +97,8 @@ func TestParallelWMaxSubsetCandidates(t *testing.T) {
 // every vertex.  The prune pass is only exact if this upper bound is.
 func TestScratchUpperBoundMatches(t *testing.T) {
 	for name, g := range generatorGraphs(t) {
-		sc := newWMaxScratch(g)
+		sc := NewCutSolver()
+		sc.ensureGraph(g)
 		for _, x := range g.Vertices() {
 			sc.explore(x)
 			got := sc.upperBound(x)
@@ -109,12 +110,13 @@ func TestScratchUpperBoundMatches(t *testing.T) {
 	}
 }
 
-// TestScratchMinWavefrontMatches checks the scratch flow-network path against
-// MinWavefrontLowerBound vertex by vertex, including repeated reuse of the
-// same scratch across candidates (the reset path).
+// TestScratchMinWavefrontMatches checks the strip-local flow path against the
+// full-network reference MinWavefrontLowerBound vertex by vertex, including
+// repeated reuse of the same solver across candidates (the reset path).
 func TestScratchMinWavefrontMatches(t *testing.T) {
 	for name, g := range generatorGraphs(t) {
-		sc := newWMaxScratch(g)
+		sc := NewCutSolver()
+		sc.ensureGraph(g)
 		for _, x := range g.Vertices() {
 			sc.explore(x)
 			got := sc.minWavefront(x)

@@ -18,62 +18,18 @@ type CutOptions struct {
 //
 // The computation uses the standard vertex-splitting reduction to edge
 // min-cut solved with Dinic's algorithm; its cost is O(E·√V) in practice for
-// the unit-capacity networks that arise here.
+// the unit-capacity networks that arise here.  It runs on a pooled CutSolver,
+// so repeated calls against the same graph reuse the cached static network
+// and traversal scratch; hold a CutSolver directly to make the reuse
+// explicit.
 //
 // It returns the cut size and one minimum cut (the set of cut vertices).
 // If a target is reachable from a source using only uncuttable vertices the
 // cut is impossible; the function then returns (-1, nil).
 func MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexID, opts CutOptions) (int, []cdag.VertexID) {
-	n := g.NumVertices()
-	if n == 0 || len(sources) == 0 || len(targets) == 0 {
-		return 0, nil
-	}
-	isTarget := cdag.NewVertexSet(n)
-	isTarget.AddAll(targets)
-	isSource := cdag.NewVertexSet(n)
-	isSource.AddAll(sources)
-	// A vertex that is both a source and a target makes separation impossible
-	// unless it can be cut; handle the degenerate overlap up front.
-	for _, s := range sources {
-		if isTarget.Contains(s) && opts.Uncuttable != nil && opts.Uncuttable(s) {
-			return -1, nil
-		}
-	}
-
-	// Node numbering: vIn = 2v, vOut = 2v+1, super-source = 2n, super-sink = 2n+1.
-	net := newFlowNetwork(2*n + 2)
-	s, t := 2*n, 2*n+1
-	for v := 0; v < n; v++ {
-		id := cdag.VertexID(v)
-		capV := int64(1)
-		if opts.Uncuttable != nil && opts.Uncuttable(id) {
-			capV = flowInf
-		}
-		net.addEdge(2*v, 2*v+1, capV)
-		for _, w := range g.Succ(id) {
-			net.addEdge(2*v+1, 2*int(w), flowInf)
-		}
-	}
-	for _, src := range sources {
-		net.addEdge(s, 2*int(src), flowInf)
-	}
-	for _, tgt := range targets {
-		net.addEdge(2*int(tgt)+1, t, flowInf)
-	}
-	flow := net.maxFlow(s, t)
-	if flow >= flowInf {
-		return -1, nil
-	}
-	// Recover the cut: a vertex v is a cut vertex when its vIn is reachable
-	// from the source side of the residual graph but its vOut is not.
-	reach := net.minCutSourceSide(s)
-	var cut []cdag.VertexID
-	for v := 0; v < n; v++ {
-		if reach[2*v] && !reach[2*v+1] {
-			cut = append(cut, cdag.VertexID(v))
-		}
-	}
-	return int(flow), cut
+	cs := acquireSolver()
+	defer releaseSolver(cs)
+	return cs.MinVertexCut(g, sources, targets, opts)
 }
 
 // MaxVertexDisjointPaths returns the maximum number of fully vertex-disjoint
@@ -81,8 +37,9 @@ func MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexID, opts CutOptio
 // any vertex, endpoints included).  By Menger's theorem this equals
 // MinVertexCut with all vertices cuttable.
 func MaxVertexDisjointPaths(g *cdag.Graph, sources, targets []cdag.VertexID) int {
-	k, _ := MinVertexCut(g, sources, targets, CutOptions{})
-	return k
+	cs := acquireSolver()
+	defer releaseSolver(cs)
+	return cs.MaxVertexDisjointPaths(g, sources, targets)
 }
 
 // MinDominatorSize returns the size of a minimum dominator set of the vertex
@@ -92,14 +49,7 @@ func MaxVertexDisjointPaths(g *cdag.Graph, sources, targets []cdag.VertexID) int
 // of target.  Vertices of target with no path from any input are ignored (no
 // path needs covering).  The companion minimum dominator set is returned too.
 func MinDominatorSize(g *cdag.Graph, target *cdag.VertexSet) (int, []cdag.VertexID) {
-	inputs := g.Inputs()
-	if len(inputs) == 0 || target.Len() == 0 {
-		return 0, nil
-	}
-	k, cut := MinVertexCut(g, inputs, target.Elements(), CutOptions{})
-	if k < 0 {
-		// Cannot happen with all vertices cuttable, but keep the API total.
-		return 0, nil
-	}
-	return k, cut
+	cs := acquireSolver()
+	defer releaseSolver(cs)
+	return cs.MinDominatorSize(g, target)
 }

@@ -161,6 +161,86 @@ func (h *EvictHeap) PopMin(dead []bool) (cdag.VertexID, int64) {
 	return v, t
 }
 
+// CostHeap is a plain (non-indexed) binary min-heap over (cost, item) pairs:
+// the root is the entry with the smallest cost, ties broken by smallest item
+// id — a deterministic total order, unlike container/heap's tie behavior.
+// Items are caller-managed int32 handles (indexes into an arena, dense ids),
+// so pushes append into two flat slices instead of boxing a per-entry struct
+// through an interface.  The exact pebble-game search uses it as the Dijkstra
+// frontier over game states: duplicates are allowed, staleness is the
+// caller's concern (the usual dist-map check on pop).
+type CostHeap struct {
+	cost []int64
+	item []int32
+}
+
+// Len returns the number of entries currently in the heap.
+func (h *CostHeap) Len() int { return len(h.cost) }
+
+// Reset empties the heap, keeping its storage.
+func (h *CostHeap) Reset() {
+	h.cost = h.cost[:0]
+	h.item = h.item[:0]
+}
+
+// first orders entries root-first: smaller cost, ties by smaller item id.
+func (h *CostHeap) first(i, j int) bool {
+	if h.cost[i] != h.cost[j] {
+		return h.cost[i] < h.cost[j]
+	}
+	return h.item[i] < h.item[j]
+}
+
+func (h *CostHeap) swap(i, j int) {
+	h.cost[i], h.cost[j] = h.cost[j], h.cost[i]
+	h.item[i], h.item[j] = h.item[j], h.item[i]
+}
+
+// Push inserts an entry.
+func (h *CostHeap) Push(cost int64, item int32) {
+	h.cost = append(h.cost, cost)
+	h.item = append(h.item, item)
+	i := len(h.cost) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.first(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// PopMin removes and returns the minimum entry; ok is false when the heap is
+// empty.
+func (h *CostHeap) PopMin() (cost int64, item int32, ok bool) {
+	if len(h.cost) == 0 {
+		return 0, 0, false
+	}
+	cost, item = h.cost[0], h.item[0]
+	last := len(h.cost) - 1
+	h.swap(0, last)
+	h.cost = h.cost[:last]
+	h.item = h.item[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && h.first(l, min) {
+			min = l
+		}
+		if r < last && h.first(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.swap(i, min)
+		i = min
+	}
+	return cost, item, true
+}
+
 // PriorityHeap is an indexed binary heap over dense vertex IDs with explicit
 // int64 priorities: the root is the entry with the LARGEST priority, ties
 // broken by smallest vertex ID (a deterministic total order, unlike the

@@ -94,3 +94,44 @@ func TestEvictHeapDeadFirst(t *testing.T) {
 		t.Fatalf("PopMin = (%d,%d), want (0,5)", v, clock)
 	}
 }
+
+// TestCostHeapOrdering drives CostHeap against a sorted reference: pops must
+// come out in (cost asc, item asc) order regardless of push order, including
+// duplicate items and interleaved push/pop.
+func TestCostHeapOrdering(t *testing.T) {
+	var h CostHeap
+	pushes := []struct {
+		cost int64
+		item int32
+	}{
+		{5, 2}, {1, 9}, {5, 0}, {3, 3}, {1, 1}, {3, 3}, {0, 7}, {5, 1},
+	}
+	for _, p := range pushes {
+		h.Push(p.cost, p.item)
+	}
+	want := []struct {
+		cost int64
+		item int32
+	}{
+		{0, 7}, {1, 1}, {1, 9}, {3, 3}, {3, 3}, {5, 0}, {5, 1}, {5, 2},
+	}
+	for i, w := range want {
+		c, it, ok := h.PopMin()
+		if !ok || c != w.cost || it != w.item {
+			t.Fatalf("pop %d = (%d, %d, %v), want (%d, %d, true)", i, c, it, ok, w.cost, w.item)
+		}
+	}
+	if _, _, ok := h.PopMin(); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+	// Interleaved: push after draining reuses storage.
+	h.Push(2, 4)
+	h.Push(1, 5)
+	if c, it, _ := h.PopMin(); c != 1 || it != 5 {
+		t.Fatalf("interleaved pop = (%d, %d)", c, it)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+}

@@ -1,12 +1,12 @@
 package pebble
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/bits"
 
 	"cdagio/internal/cdag"
+	"cdagio/internal/iheap"
 )
 
 // ErrTooLarge is returned by OptimalIO when the CDAG exceeds the size the
@@ -32,29 +32,28 @@ type gameState struct {
 	blue  uint64
 }
 
-type stateItem struct {
-	state gameState
-	cost  int
-	index int
+// stateQueue is the Dijkstra frontier over game states: an arena of the
+// states behind a shared min-cost heap of (cost, arena index) pairs
+// (internal/iheap.CostHeap, the concrete heap also backing the memsim and
+// P-RBW players).  Pushes append a 24-byte state to the arena and two words
+// to the heap — no per-state boxing through container/heap interfaces —
+// and pops are deterministic (cost ties broken by insertion order).
+type stateQueue struct {
+	arena []gameState
+	heap  iheap.CostHeap
 }
 
-type stateQueue []*stateItem
-
-func (q stateQueue) Len() int           { return len(q) }
-func (q stateQueue) Less(i, j int) bool { return q[i].cost < q[j].cost }
-func (q stateQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *stateQueue) Push(x interface{}) {
-	it := x.(*stateItem)
-	it.index = len(*q)
-	*q = append(*q, it)
+func (q *stateQueue) push(st gameState, cost int) {
+	q.arena = append(q.arena, st)
+	q.heap.Push(int64(cost), int32(len(q.arena)-1))
 }
-func (q *stateQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+
+func (q *stateQueue) pop() (gameState, int, bool) {
+	cost, idx, ok := q.heap.PopMin()
+	if !ok {
+		return gameState{}, 0, false
+	}
+	return q.arena[idx], int(cost), true
 }
 
 // OptimalIO computes the exact minimum number of I/O operations of a complete
@@ -110,12 +109,14 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 	start := gameState{blue: inputMask}
 	dist := map[gameState]int{start: 0}
 	pq := &stateQueue{}
-	heap.Push(pq, &stateItem{state: start, cost: 0})
+	pq.push(start, 0)
 	settled := 0
 
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(*stateItem)
-		st, cost := item.state, item.cost
+	for {
+		st, cost, ok := pq.pop()
+		if !ok {
+			break
+		}
 		if d, ok := dist[st]; ok && cost > d {
 			continue
 		}
@@ -130,7 +131,7 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 		relax := func(next gameState, c int) {
 			if d, ok := dist[next]; !ok || c < d {
 				dist[next] = c
-				heap.Push(pq, &stateItem{state: next, cost: c})
+				pq.push(next, c)
 			}
 		}
 

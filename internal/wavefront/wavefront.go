@@ -91,9 +91,14 @@ func MaxScheduleWavefront(g *cdag.Graph, order []cdag.VertexID) (int, error) {
 
 // MinWavefrontAt returns a lower bound on the minimum-cardinality wavefront
 // induced by x (Section 3.3), computed as the maximum number of vertex-
-// disjoint paths from {x} ∪ Anc(x) to Desc(x).
+// disjoint paths from {x} ∪ Anc(x) to Desc(x).  It runs on the pooled
+// strip-local CutSolver engine: the ancestor and descendant cones are
+// contracted into the flow terminals, so repeated queries (the per-piece
+// wavefronts of the Theorem 8/9 decompositions) cost O(strip), not O(V), and
+// allocate nothing after warm-up.  The value is identical to the reference
+// graphalg.MinWavefrontLowerBound.
 func MinWavefrontAt(g *cdag.Graph, x cdag.VertexID) int {
-	return graphalg.MinWavefrontLowerBound(g, x)
+	return graphalg.MinWavefrontLowerBoundStrip(g, x)
 }
 
 // WMax returns a lower bound on w^max_G = max_x |W^min_G(x)| over the given
