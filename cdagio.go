@@ -111,7 +111,9 @@ const (
 	LRU      = pebble.LRU
 )
 
-// NewGame starts a sequential pebble game on g with S red pebbles.
+// NewGame starts a sequential pebble game on g with S red pebbles.  The
+// graph's structure must stay fixed while the game is played: NewGame
+// compiles and caches its adjacency.
 func NewGame(g *Graph, variant pebble.Variant, s int, record bool) *Game {
 	return pebble.NewGame(g, variant, s, record)
 }
@@ -156,8 +158,21 @@ func PlayParallel(g *Graph, topo Topology, asg Assignment) (*ParallelStats, erro
 	return prbw.Play(g, topo, asg)
 }
 
+// MemSimConfig describes the machine simulated by the lightweight
+// distributed cache simulator (nodes, per-node fast-memory words, policy).
+type MemSimConfig = memsim.Config
+
+// MemSimStats reports the simulator's measured data movement.
+type MemSimStats = memsim.Stats
+
+// Replacement policies of the simulated fast memory.
+const (
+	MemSimBelady = memsim.Belady
+	MemSimLRU    = memsim.LRU
+)
+
 // SimulateMemory runs the lightweight distributed cache simulator.
-func SimulateMemory(g *Graph, cfg memsim.Config, order []VertexID, owner []int) (*memsim.Stats, error) {
+func SimulateMemory(g *Graph, cfg MemSimConfig, order []VertexID, owner []int) (*MemSimStats, error) {
 	return memsim.Run(g, cfg, order, owner)
 }
 

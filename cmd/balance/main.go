@@ -11,6 +11,13 @@
 //	balance -gmres -m 1,10,100,1000
 //	balance -jacobi -maxdim 6
 //	balance -composite -n 64
+//	balance -all -sim -S 32,64,128 -j 8
+//
+// With -sim the Section 5.2–5.4 analyses additionally run empirical
+// per-S memory-simulation sweeps on small generated CDAGs; the sweep's
+// independent simulations fan out over SimulateMemorySweep's worker pool,
+// bounded by -j exactly like the iolb and pebblesim commands bound their
+// wavefront searches.
 package main
 
 import (
@@ -35,6 +42,12 @@ func main() {
 		mList     = flag.String("m", "1,5,10,100,1000", "comma-separated GMRES restart values")
 		maxDim    = flag.Int("maxdim", 6, "largest stencil dimension for the Jacobi analysis")
 		compN     = flag.Int("compn", 64, "vector length for the composite example")
+
+		sim      = flag.Bool("sim", false, "also run empirical memory-simulation sweeps for Sections 5.2-5.4")
+		sList    = flag.String("S", "32,64,128,256", "comma-separated fast-memory capacities for -sim sweeps")
+		simN     = flag.Int("simn", 8, "grid points per dimension of the simulated CDAGs (-sim)")
+		simNodes = flag.Int("nodes", 2, "nodes of the simulated machine for the Jacobi -sim sweep")
+		jobs     = flag.Int("j", 0, "worker goroutines for the -sim sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !*all && !*table1 && !*cg && !*gmres && !*jacobi && !*composite {
@@ -48,6 +61,13 @@ func main() {
 		fmt.Print(cdagio.Table1Report())
 		fmt.Println()
 	}
+	var sweepS []int
+	if *sim {
+		var err error
+		sweepS, err = parseInts(*sList)
+		exitOn(err)
+	}
+
 	if *all || *cg {
 		p := cdagio.CGParams{Dim: 3, N: *n, Iterations: 100,
 			Processors: bgq.Nodes * bgq.CoresPerNode, Nodes: bgq.Nodes}
@@ -55,6 +75,10 @@ func main() {
 		exitOn(err)
 		fmt.Println("== Conjugate Gradient (Section 5.2.3) ==")
 		fmt.Print(ev.Report())
+		if *sim {
+			g := cdagio.CG(2, *simN, 2).Graph
+			exitOn(simSweep("CG", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
+		}
 		fmt.Println()
 	}
 	if *all || *gmres {
@@ -64,6 +88,10 @@ func main() {
 		exitOn(err)
 		fmt.Println("== GMRES (Section 5.3.3) ==")
 		fmt.Print(ev.Report())
+		if *sim {
+			g := cdagio.GMRES(2, *simN, 2).Graph
+			exitOn(simSweep("GMRES", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
+		}
 		fmt.Println()
 	}
 	if *all || *jacobi {
@@ -73,6 +101,12 @@ func main() {
 			exitOn(err)
 			fmt.Print(ev.Report())
 		}
+		if *sim {
+			r := cdagio.Jacobi(2, 4**simN, *simN, cdagio.StencilBox)
+			owner := cdagio.BlockPartitionGrid(r, *simNodes)
+			exitOn(simSweep("Jacobi (skewed)", r.Graph, cdagio.StencilSkewed(r, 4),
+				owner, *simNodes, sweepS, *jobs))
+		}
 		fmt.Println()
 	}
 	if *all || *composite {
@@ -81,6 +115,51 @@ func main() {
 		fmt.Println("== Composite example (Section 3) ==")
 		fmt.Print(ev.Report())
 	}
+}
+
+// simSweep runs one empirical per-S memory-simulation sweep: one simulation
+// job per fast-memory capacity, all against the shared graph, fanned out over
+// SimulateMemorySweep's worker pool (workers = the -j flag; ≤ 0 selects
+// GOMAXPROCS).  Capacities too small to hold a vertex together with its
+// predecessors are reported and skipped.
+func simSweep(name string, g *cdagio.Graph, order []cdagio.VertexID, owner []int,
+	nodes int, sweepS []int, workers int) error {
+
+	minWords := 1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(cdagio.VertexID(v)); d+1 > minWords {
+			minWords = d + 1
+		}
+	}
+	var jobs []cdagio.MemorySweepJob
+	var kept []int
+	for _, s := range sweepS {
+		if s < minWords {
+			fmt.Printf("  %s sweep: S=%d skipped (max in-degree needs >= %d words)\n", name, s, minWords)
+			continue
+		}
+		jobs = append(jobs, cdagio.MemorySweepJob{
+			Cfg:   cdagio.MemSimConfig{Nodes: nodes, FastWords: s, Policy: cdagio.MemSimBelady},
+			Order: order,
+			Owner: owner,
+		})
+		kept = append(kept, s)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	stats, err := cdagio.SimulateMemorySweep(g, jobs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s memory-simulation sweep (%s, %d node(s), Belady):\n", name, g, nodes)
+	fmt.Printf("    %8s %14s %14s %14s %14s\n", "S", "vertical", "max/node", "horizontal", "max/node")
+	for i, s := range kept {
+		fmt.Printf("    %8d %14d %14d %14d %14d\n", s,
+			stats[i].VerticalTotal(), stats[i].MaxNodeVertical(),
+			stats[i].HorizontalTotal(), stats[i].MaxNodeHorizontal())
+	}
+	return nil
 }
 
 func parseInts(list string) ([]int, error) {

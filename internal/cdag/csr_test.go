@@ -125,6 +125,97 @@ func TestCSREquivalenceRandomDAGs(t *testing.T) {
 	}
 }
 
+// TestPredecessorCSREquivalenceRandomDAGs drives the same randomized
+// generator set as TestCSREquivalenceRandomDAGs (random DAGs with duplicate
+// insertions, half the trials frozen) and checks that the hoisted
+// PredecessorCSR/SuccessorCSR rows are identical — content and order — to
+// the per-call Pred/Succ slices and to the slice-of-slices reference, so the
+// players' hoisted row reads are proven interchangeable with the facade.
+func TestPredecessorCSREquivalenceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		g := NewGraph("predcsr", n)
+		g.AddVertices(n)
+		ref := newSliceGraph(n)
+		edges := rng.Intn(4 * n)
+		for e := 0; e < edges; e++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(VertexID(u), VertexID(v))
+			ref.addEdge(VertexID(u), VertexID(v))
+			if rng.Intn(4) == 0 {
+				g.AddEdge(VertexID(u), VertexID(v)) // duplicate, must be dropped
+			}
+		}
+		if trial%2 == 0 {
+			g.Freeze()
+		}
+		predOff, predVal := g.PredecessorCSR()
+		succOff, succVal := g.SuccessorCSR()
+		if len(predOff) != n+1 || len(succOff) != n+1 {
+			t.Fatalf("trial %d: offset lengths %d/%d, want %d", trial, len(predOff), len(succOff), n+1)
+		}
+		if predOff[n] != int64(g.NumEdges()) || succOff[n] != int64(g.NumEdges()) {
+			t.Fatalf("trial %d: row totals %d/%d, want |E|=%d", trial, predOff[n], succOff[n], g.NumEdges())
+		}
+		for v := 0; v < n; v++ {
+			id := VertexID(v)
+			pRow := predVal[predOff[v]:predOff[v+1]]
+			if !equalIDs(pRow, g.Pred(id)) || !equalIDs(pRow, ref.pred[v]) {
+				t.Fatalf("trial %d: PredecessorCSR row %d = %v, Pred = %v, ref = %v",
+					trial, v, pRow, g.Pred(id), ref.pred[v])
+			}
+			sRow := succVal[succOff[v]:succOff[v+1]]
+			if !equalIDs(sRow, g.Succ(id)) || !equalIDs(sRow, ref.succ[v]) {
+				t.Fatalf("trial %d: SuccessorCSR row %d = %v, Succ = %v, ref = %v",
+					trial, v, sRow, g.Succ(id), ref.succ[v])
+			}
+		}
+	}
+}
+
+// TestPredecessorCSRFirstInsertionOrderGolden pins the row-order contract on
+// a hand-built graph: after dedup, each predecessor row lists its sources in
+// the order their edges were first staged — not sorted, not source-major —
+// and the rows survive a materialize→mutate→requery cycle unchanged.
+func TestPredecessorCSRFirstInsertionOrderGolden(t *testing.T) {
+	g := NewGraph("golden", 0)
+	g.AddVertices(6)
+	// Interleave sources so first-insertion order differs from both sorted
+	// and source-major order, and stage duplicates that must be dropped.
+	g.AddEdge(3, 5)
+	g.AddEdge(0, 4)
+	g.AddEdge(2, 5)
+	g.AddEdge(3, 5) // duplicate
+	g.AddEdge(1, 4)
+	g.AddEdge(0, 5)
+	g.AddEdge(2, 4)
+	g.AddEdge(0, 4) // duplicate
+
+	want := map[VertexID][]VertexID{
+		4: {0, 1, 2},
+		5: {3, 2, 0},
+	}
+	check := func(stage string) {
+		predOff, predVal := g.PredecessorCSR()
+		for v, exp := range want {
+			got := predVal[predOff[v]:predOff[v+1]]
+			if !equalIDs(got, exp) {
+				t.Fatalf("%s: PredecessorCSR row %d = %v, want first-insertion order %v", stage, v, got, exp)
+			}
+		}
+		if predOff[len(predOff)-1] != 6 {
+			t.Fatalf("%s: total kept edges = %d, want 6 (duplicates dropped)", stage, predOff[len(predOff)-1])
+		}
+	}
+	check("fresh")
+	g.AddVertex("late") // reconstitutes and recompiles the staging buffer
+	check("after remutation")
+	g.Freeze()
+	check("frozen")
+}
+
 // TestCSRMutateAfterMaterialize checks the staged → compiled → staged
 // lifecycle: queries compile the CSR arrays, later mutations reconstitute the
 // staging buffer, and the recompiled adjacency reflects both generations of

@@ -55,6 +55,22 @@
 // frozen graphs, because the Theorem 3 relabeling operates on finished CDAGs
 // and tags never enter the compiled adjacency.
 //
+// # Choosing an adjacency accessor
+//
+// Succ and Pred are the default: one call returns the row of a single vertex
+// as a subslice of the flat arrays, with a bounds check and a lazy
+// materialization check per call.  That is the right interface for
+// occasional queries, validation code, and anything that may run against a
+// graph still being mutated.  Hot traversal loops — code that visits the row
+// of every vertex, or replays the same rows many times per simulation (the
+// pebble/P-RBW schedule players, memsim's cache simulator, the w^max cone
+// explorations) — should instead hoist SuccessorCSR/PredecessorCSR (or
+// AdjacencyCSR for both directions) once before the loop and index
+// val[off[v]:off[v+1]] directly: same rows, same first-insertion order, but
+// zero per-visit call, check or materialization overhead.  The returned
+// arrays are invalidated by the next structural mutation, so the hoisted
+// form is only for code that treats the graph as immutable while it runs.
+//
 // Concurrency: a Graph is not safe for concurrent mutation, and the lazy
 // compilation is not synchronized either — call Freeze or Materialize (or
 // perform any adjacency query) after the last mutation before sharing a

@@ -448,11 +448,34 @@ func (g *Graph) Pred(v VertexID) []VertexID {
 // succVal[succOff[v]:succOff[v+1]] and Pred(v) is
 // predVal[predOff[v]:predOff[v+1]].  The arrays are owned by the graph, must
 // not be modified, and are invalidated by the next structural mutation.
-// Hot analysis loops over millions of rows (the w^max cone explorations) use
-// this to skip the per-call materialization and bounds checks of Succ/Pred.
+// Hot analysis loops over millions of rows (the w^max cone explorations, the
+// pebble-game players, the memsim traversals) use this to skip the per-call
+// materialization and bounds checks of Succ/Pred.
 func (g *Graph) AdjacencyCSR() (succOff []int64, succVal []VertexID, predOff []int64, predVal []VertexID) {
 	g.ensure()
 	return g.succOff, g.succVal, g.predOff, g.predVal
+}
+
+// SuccessorCSR materializes the graph and returns the successor half of the
+// CSR adjacency: the successors of v are val[off[v]:off[v+1]], duplicate-free
+// and in first-insertion order, exactly as Succ returns them.  The arrays are
+// owned by the graph, must not be modified, and are invalidated by the next
+// structural mutation.  Hoist this call out of a traversal loop and index the
+// rows directly when the loop visits many vertices.
+func (g *Graph) SuccessorCSR() (off []int64, val []VertexID) {
+	g.ensure()
+	return g.succOff, g.succVal
+}
+
+// PredecessorCSR is the symmetric counterpart of SuccessorCSR: the
+// predecessors of v are val[off[v]:off[v+1]], duplicate-free and in
+// first-insertion order, exactly as Pred returns them.  The arrays are owned
+// by the graph, must not be modified, and are invalidated by the next
+// structural mutation.  The schedule players and simulators hoist this call
+// once per run and replay predecessor rows allocation- and call-free.
+func (g *Graph) PredecessorCSR() (off []int64, val []VertexID) {
+	g.ensure()
+	return g.predOff, g.predVal
 }
 
 // Successors returns the successors of v.  Deprecated alias for Succ.

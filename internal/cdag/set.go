@@ -75,6 +75,13 @@ func (s *VertexSet) Elements() []VertexID {
 	return out
 }
 
+// Bitmap returns the set's dense membership bitmap: Bitmap()[v] reports
+// whether v is in the set, for v in [0, Universe()).  The slice is owned by
+// the set and must not be modified; it is the zero-overhead form of Contains
+// for bulk scans (the cut solver's uncuttable-capacity flips read it
+// directly instead of paying a predicate call per vertex).
+func (s *VertexSet) Bitmap() []bool { return s.member }
+
 // Clone returns a copy of the set.
 func (s *VertexSet) Clone() *VertexSet {
 	return &VertexSet{member: append([]bool(nil), s.member...), count: s.count}

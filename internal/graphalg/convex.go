@@ -93,7 +93,7 @@ func MinWavefrontLowerBound(g *cdag.Graph, x cdag.VertexID) int {
 	anc := Ancestors(g, x)
 	anc.Add(x)
 	k, _ := MinVertexCut(g, anc.Elements(), desc.Elements(), CutOptions{
-		Uncuttable: desc.Contains,
+		UncuttableSet: desc,
 	})
 	if k < 1 {
 		k = 1

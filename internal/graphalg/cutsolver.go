@@ -475,7 +475,7 @@ func (cs *CutSolver) MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexI
 	// A vertex that is both a source and a target makes separation impossible
 	// unless it can be cut; handle the degenerate overlap up front.
 	for _, s := range sources {
-		if cs.seenMark[s] == te && opts.Uncuttable != nil && opts.Uncuttable(s) {
+		if cs.seenMark[s] == te && opts.uncuttable(s) {
 			return -1, nil
 		}
 	}
@@ -495,7 +495,21 @@ func (cs *CutSolver) MinVertexCut(g *cdag.Graph, sources, targets []cdag.VertexI
 		cs.ensureStatic(g)
 		cs.resetFull()
 		f = &cs.full
-		if opts.Uncuttable != nil {
+		// Flip the split-arc capacities of the uncuttable vertices.  The
+		// precomputed-set path reads the bitmap directly — a branch per
+		// vertex, no per-vertex predicate call (ROADMAP item d); the
+		// predicate path is kept for callers without a materialized set.
+		if set := opts.UncuttableSet; set != nil {
+			bm := set.Bitmap()
+			fn := opts.Uncuttable
+			for v := 0; v < n; v++ {
+				if (v < len(bm) && bm[v]) || (fn != nil && fn(cdag.VertexID(v))) {
+					a := cs.splitArc[v]
+					f.cap[a] = flowInf
+					f.dirty = append(f.dirty, a)
+				}
+			}
+		} else if opts.Uncuttable != nil {
 			for v := 0; v < n; v++ {
 				if opts.Uncuttable(cdag.VertexID(v)) {
 					a := cs.splitArc[v]
@@ -537,7 +551,7 @@ func (cs *CutSolver) freshVertexSplit(g *cdag.Graph, sources, targets []cdag.Ver
 	for v := 0; v < n; v++ {
 		id := cdag.VertexID(v)
 		capV := int64(1)
-		if opts.Uncuttable != nil && opts.Uncuttable(id) {
+		if opts.uncuttable(id) {
 			capV = flowInf
 		}
 		f.stageEdge(int32(2*v), int32(2*v+1), capV)

@@ -115,6 +115,59 @@ func TestMinVertexCutDuplicateEndpoints(t *testing.T) {
 	}
 }
 
+// TestUncuttableSetMatchesPredicate drives the cached-static path with the
+// predicate form, the precomputed-set form and the union of both on
+// randomized DAGs, asserting identical cut values and cut sets.  The set form
+// is what the wavefront instances use (ROADMAP item d); it must be a pure
+// performance change.
+func TestUncuttableSetMatchesPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(30)
+		g := randomDAG(rng, n, 2*n)
+		sources, sinks := g.Sources(), g.Sinks()
+		if len(sources) == 0 || len(sinks) == 0 {
+			continue
+		}
+		uncut := cdag.NewVertexSet(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				uncut.Add(cdag.VertexID(v))
+			}
+		}
+		wantK, wantCut := MinVertexCut(g, sources, sinks, CutOptions{Uncuttable: uncut.Contains})
+		gotK, gotCut := MinVertexCut(g, sources, sinks, CutOptions{UncuttableSet: uncut})
+		if gotK != wantK || !reflect.DeepEqual(gotCut, wantCut) {
+			t.Fatalf("trial %d: set form (%d, %v), predicate form (%d, %v)",
+				trial, gotK, gotCut, wantK, wantCut)
+		}
+		// Union semantics: splitting the same restriction across both fields
+		// must change nothing.
+		half := cdag.NewVertexSet(n)
+		for _, v := range uncut.Elements() {
+			if rng.Intn(2) == 0 {
+				half.Add(v)
+			}
+		}
+		bothK, bothCut := MinVertexCut(g, sources, sinks, CutOptions{
+			UncuttableSet: half,
+			Uncuttable:    uncut.Contains,
+		})
+		if bothK != wantK || !reflect.DeepEqual(bothCut, wantCut) {
+			t.Fatalf("trial %d: union form (%d, %v), want (%d, %v)", trial, bothK, bothCut, wantK, wantCut)
+		}
+		// Duplicate endpoints route through the fresh-build fallback, which
+		// must honor the set form too.
+		dupSources := append([]cdag.VertexID{sources[0]}, sources...)
+		wantK2, wantCut2 := MinVertexCut(g, dupSources, sinks, CutOptions{Uncuttable: uncut.Contains})
+		gotK2, gotCut2 := MinVertexCut(g, dupSources, sinks, CutOptions{UncuttableSet: uncut})
+		if gotK2 != wantK2 || !reflect.DeepEqual(gotCut2, wantCut2) {
+			t.Fatalf("trial %d: fresh-build set form (%d, %v), predicate form (%d, %v)",
+				trial, gotK2, gotCut2, wantK2, wantCut2)
+		}
+	}
+}
+
 // butterflyStackGraph is the layered benchmark instance whose cut set the
 // goldens below pin.
 func butterflyStackGraph() *cdag.Graph {
@@ -183,6 +236,21 @@ func TestMinVertexCutGoldenSets(t *testing.T) {
 		anc := Ancestors(g, x)
 		anc.Add(x)
 		k, cut := MinVertexCut(g, anc.Elements(), desc.Elements(), CutOptions{Uncuttable: desc.Contains})
+		want := ids(72, 73, 74, 78, 79, 80, 84, 85, 86)
+		if k != 9 || !reflect.DeepEqual(cut, want) {
+			t.Fatalf("cut = (%d, %v), want (9, %v)", k, cut, want)
+		}
+	})
+
+	t.Run("jacobi2dUncuttableSet", func(t *testing.T) {
+		// The precomputed-set form must reproduce the predicate golden above
+		// bit for bit (same flip order, same cut set).
+		g := gen.Jacobi(2, 6, 3, gen.StencilBox).Graph
+		x := cdag.VertexID(g.NumVertices() / 2)
+		desc := Descendants(g, x)
+		anc := Ancestors(g, x)
+		anc.Add(x)
+		k, cut := MinVertexCut(g, anc.Elements(), desc.Elements(), CutOptions{UncuttableSet: desc})
 		want := ids(72, 73, 74, 78, 79, 80, 84, 85, 86)
 		if k != 9 || !reflect.DeepEqual(cut, want) {
 			t.Fatalf("cut = (%d, %v), want (9, %v)", k, cut, want)

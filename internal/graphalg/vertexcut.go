@@ -8,6 +8,24 @@ type CutOptions struct {
 	// (they are given infinite capacity in the flow network).  A nil function
 	// means every vertex may be cut.
 	Uncuttable func(cdag.VertexID) bool
+
+	// UncuttableSet is the precomputed-set form of Uncuttable: every member
+	// may not be chosen as a cut vertex.  Prefer it when the uncuttable
+	// vertices are already materialized as a set (the wavefront instances
+	// exclude Desc(x)): the solver reads the set's bitmap directly, so the
+	// per-call capacity flips cost a branch per vertex instead of a dynamic
+	// predicate call per vertex.  When both fields are set a vertex is
+	// uncuttable if either reports it.
+	UncuttableSet *cdag.VertexSet
+}
+
+// uncuttable reports whether v may not be chosen as a cut vertex under the
+// options (the single-vertex form; bulk scans read the set bitmap directly).
+func (o CutOptions) uncuttable(v cdag.VertexID) bool {
+	if o.UncuttableSet != nil && o.UncuttableSet.Contains(v) {
+		return true
+	}
+	return o.Uncuttable != nil && o.Uncuttable(v)
 }
 
 // MinVertexCut computes the minimum number of vertices whose removal

@@ -137,6 +137,9 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 		return nil, fmt.Errorf("memsim: need at least one fast-memory word")
 	}
 	n := g.NumVertices()
+	// Every pass below sweeps predecessor rows, so hoist the flat CSR arrays
+	// once: the rows are identical to g.Pred(v) in content and order.
+	predOff, predVal := g.PredecessorCSR()
 	nodeOf := func(v cdag.VertexID) int {
 		if int(v) < len(owner) && owner[v] >= 0 && owner[v] < cfg.Nodes {
 			return owner[v]
@@ -169,13 +172,13 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 		if position[v] < 0 {
 			return nil, fmt.Errorf("memsim: vertex %d missing from schedule", v)
 		}
-		for _, p := range g.Pred(id) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return nil, fmt.Errorf("memsim: vertex %d scheduled before predecessor %d", v, p)
 			}
 		}
-		if g.InDegree(id)+1 > cfg.FastWords {
-			return nil, fmt.Errorf("memsim: fast memory %d too small for in-degree %d", cfg.FastWords, g.InDegree(id))
+		if indeg := int(predOff[v+1] - predOff[v]); indeg+1 > cfg.FastWords {
+			return nil, fmt.Errorf("memsim: fast memory %d too small for in-degree %d", cfg.FastWords, indeg)
 		}
 	}
 
@@ -186,7 +189,7 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 	// by the Belady policy and by the write-back decision.
 	useOff := make([]int64, n+1)
 	for _, v := range order {
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			useOff[p+1]++
 		}
 	}
@@ -200,7 +203,7 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 	copy(useCursor, useOff[:n])
 	for i, v := range order {
 		nd := nodeOf(v)
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			usePos[useCursor[p]] = int32(i)
 			useNode[useCursor[p]] = int32(nd)
 			useCursor[p]++
@@ -283,10 +286,12 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 
 	for i, v := range order {
 		node := nodeOf(v)
-		for _, p := range g.Pred(v) {
+		// One row slice serves both the pinning and the fetch pass.
+		preds := predVal[predOff[v]:predOff[v+1]]
+		for _, p := range preds {
 			pinStamp[p] = int32(i)
 		}
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			if caches[node].contains(p) {
 				caches[node].touch(p, i, nextUseOnNode(p, i, node))
 				continue

@@ -92,6 +92,13 @@ type Game struct {
 	variant Variant
 	s       int
 
+	// Hoisted predecessor CSR of graph: the R3 rule check runs once per
+	// Compute move, so it reads the flat row directly instead of calling
+	// graph.Pred per move.  Valid because the graph's structure is fixed for
+	// the lifetime of a game (NewGame materializes it).
+	predOff []int64
+	predVal []cdag.VertexID
+
 	red   *cdag.VertexSet
 	blue  *cdag.VertexSet
 	white *cdag.VertexSet
@@ -106,7 +113,8 @@ type Game struct {
 // NewGame returns a fresh game on g with S red pebbles.  Blue pebbles are
 // placed on all input-tagged vertices.  When record is true the full move
 // trace is retained (useful for small games and debugging; large simulations
-// should leave it off).
+// should leave it off).  The graph's structure must stay fixed while the
+// game is played: NewGame compiles and caches its adjacency.
 func NewGame(g *cdag.Graph, variant Variant, s int, record bool) *Game {
 	if s < 1 {
 		panic("pebble: need at least one red pebble")
@@ -120,6 +128,7 @@ func NewGame(g *cdag.Graph, variant Variant, s int, record bool) *Game {
 		white:   cdag.NewVertexSet(g.NumVertices()),
 		record:  record,
 	}
+	game.predOff, game.predVal = g.PredecessorCSR()
 	for _, v := range g.Inputs() {
 		game.blue.Add(v)
 	}
@@ -211,7 +220,7 @@ func (game *Game) Apply(m Move) error {
 		if game.red.Contains(m.V) {
 			return game.illegal(m, "vertex already holds a red pebble")
 		}
-		for _, p := range game.graph.Pred(m.V) {
+		for _, p := range game.predVal[game.predOff[m.V]:game.predOff[m.V+1]] {
 			if !game.red.Contains(p) {
 				return game.illegal(m, fmt.Sprintf("predecessor %d lacks a red pebble", p))
 			}
@@ -259,8 +268,9 @@ func (game *Game) IsComplete() bool {
 	case RBW:
 		return game.white.Len() == game.graph.NumVertices()
 	default:
-		for _, v := range game.graph.Vertices() {
-			if !game.graph.IsInput(v) && !game.white.Contains(v) {
+		for v := 0; v < game.graph.NumVertices(); v++ {
+			id := cdag.VertexID(v)
+			if !game.graph.IsInput(id) && !game.white.Contains(id) {
 				return false
 			}
 		}
@@ -281,9 +291,10 @@ func (game *Game) Incomplete() string {
 		}
 		return ""
 	}
-	for _, v := range game.graph.Vertices() {
-		if !game.graph.IsInput(v) && !game.white.Contains(v) {
-			return fmt.Sprintf("vertex %d never fired", v)
+	for v := 0; v < game.graph.NumVertices(); v++ {
+		id := cdag.VertexID(v)
+		if !game.graph.IsInput(id) && !game.white.Contains(id) {
+			return fmt.Sprintf("vertex %d never fired", id)
 		}
 	}
 	return ""

@@ -80,6 +80,7 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 	var inputMask, outputMask, allMask uint64
 	preds := make([]uint64, n)
 	hasSucc := make([]bool, n)
+	succOff, _, predOff, predVal := g.AdjacencyCSR()
 	for v := 0; v < n; v++ {
 		id := cdag.VertexID(v)
 		allMask |= 1 << uint(v)
@@ -89,10 +90,10 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 		if g.IsOutput(id) {
 			outputMask |= 1 << uint(v)
 		}
-		for _, p := range g.Pred(id) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			preds[v] |= 1 << uint(p)
 		}
-		hasSucc[v] = g.OutDegree(id) > 0
+		hasSucc[v] = succOff[v+1] > succOff[v]
 	}
 
 	isGoal := func(st gameState) bool {

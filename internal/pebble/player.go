@@ -55,6 +55,10 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	policy EvictionPolicy, record bool) (Result, error) {
 
 	n := g.NumVertices()
+	// Every traversal below replays predecessor rows, so hoist the flat CSR
+	// arrays once: the rows are identical to g.Pred(v) in content and order,
+	// without the per-call facade overhead.
+	predOff, predVal := g.PredecessorCSR()
 	// Validate the schedule: every non-input exactly once, dependencies first.
 	position := make([]int, n)
 	for i := range position {
@@ -82,15 +86,15 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 			return Result{}, &ScheduleError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
 		}
 		scheduled++
-		for _, p := range g.Pred(id) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return Result{}, &ScheduleError{
 					Reason: fmt.Sprintf("vertex %d scheduled before its predecessor %d", v, p)}
 			}
 		}
-		if g.InDegree(id)+1 > s {
+		if indeg := int(predOff[v+1] - predOff[v]); indeg+1 > s {
 			return Result{}, &ScheduleError{
-				Reason: fmt.Sprintf("S=%d too small: vertex %d has in-degree %d", s, v, g.InDegree(id))}
+				Reason: fmt.Sprintf("S=%d too small: vertex %d has in-degree %d", s, v, indeg)}
 		}
 	}
 	if scheduled != len(order) {
@@ -101,7 +105,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	// order, as one flat CSR table (useList[useStart[v]:useStart[v+1]]).
 	useStart := make([]int32, n+1)
 	for _, v := range order {
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			useStart[p+1]++
 		}
 	}
@@ -111,7 +115,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	useList := make([]int32, useStart[n])
 	fill := make([]int32, n)
 	for i, v := range order {
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			useList[useStart[p]+fill[p]] = int32(i)
 			fill[p]++
 		}
@@ -230,12 +234,15 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 
 	moves := 0
 	for i, v := range order {
+		// One row slice serves the pinning, fetching and dead-drop passes of
+		// this step — no repeated Pred calls inside the step.
+		preds := predVal[predOff[v]:predOff[v+1]]
 		pinEpoch++
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			pinStamp[p] = pinEpoch
 		}
 		// Bring all predecessors into fast memory.
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			if game.HasRed(p) {
 				lastUse[p] = clock
 				continue
@@ -266,7 +273,7 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 		moves++
 		clock++
 		// Drop values that are dead from here on (free, no I/O).
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			if game.HasRed(p) && !needsPreserve(p, i) {
 				if err := game.Apply(Move{Delete, p}); err != nil {
 					return Result{}, err

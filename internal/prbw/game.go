@@ -24,6 +24,13 @@ type Game struct {
 	graph *cdag.Graph
 	topo  Topology
 
+	// Hoisted predecessor CSR of graph: the R6 rule check runs once per
+	// compute step, so it reads the flat row directly instead of calling
+	// graph.Pred per move.  Valid because the graph's structure is fixed for
+	// the lifetime of a game (NewGame materializes it).
+	predOff []int64
+	predVal []cdag.VertexID
+
 	// held[v] lists the storage units currently holding a pebble of v.
 	held [][]Loc
 	// load[level-1][unit] is the number of pebbles currently in that unit.
@@ -42,7 +49,8 @@ type Game struct {
 }
 
 // NewGame creates a game on g over the given topology.  Blue pebbles are
-// placed on all input-tagged vertices.
+// placed on all input-tagged vertices.  The graph's structure must stay
+// fixed while the game is played: NewGame compiles and caches its adjacency.
 func NewGame(g *cdag.Graph, topo Topology) (*Game, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -54,6 +62,7 @@ func NewGame(g *cdag.Graph, topo Topology) (*Game, error) {
 		blue:  cdag.NewVertexSet(g.NumVertices()),
 		white: cdag.NewVertexSet(g.NumVertices()),
 	}
+	game.predOff, game.predVal = g.PredecessorCSR()
 	// Carve every vertex's location list out of one backing array: a value
 	// rarely holds more than a couple of pebbles at once (its level path is
 	// walked with intermediate copies dropped eagerly, plus remote copies on
@@ -303,7 +312,7 @@ func (game *Game) Compute(proc int, v cdag.VertexID) error {
 	if game.white.Contains(v) {
 		return &RuleError{Rule: "R6 compute", Reason: fmt.Sprintf("vertex %d already fired", v)}
 	}
-	for _, p := range game.graph.Pred(v) {
+	for _, p := range game.predVal[game.predOff[v]:game.predOff[v+1]] {
 		if !game.HasPebbleAt(p, at) {
 			return &RuleError{Rule: "R6 compute", Reason: fmt.Sprintf("predecessor %d not in registers of processor %d", p, proc)}
 		}

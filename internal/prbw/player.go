@@ -73,9 +73,11 @@ func (e *PlayError) Error() string { return "prbw: " + e.Reason }
 
 // validateAssignment checks that the assignment schedules every non-input
 // vertex exactly once in dependence order on a valid processor, and that the
-// register capacity can hold any vertex together with its predecessors.
+// register capacity can hold any vertex together with its predecessors.  It
+// sweeps every predecessor row, so it reads the hoisted CSR arrays directly.
 func validateAssignment(g *cdag.Graph, topo Topology, asg Assignment) error {
 	n := g.NumVertices()
+	predOff, predVal := g.PredecessorCSR()
 	position := make([]int, n)
 	for i := range position {
 		position[i] = -1
@@ -103,11 +105,11 @@ func validateAssignment(g *cdag.Graph, topo Topology, asg Assignment) error {
 		if position[v] < 0 {
 			return &PlayError{Reason: fmt.Sprintf("vertex %d missing from schedule", v)}
 		}
-		if g.InDegree(id)+1 > topo.Capacity(1) {
+		if indeg := int(predOff[v+1] - predOff[v]); indeg+1 > topo.Capacity(1) {
 			return &PlayError{Reason: fmt.Sprintf("register capacity %d too small for in-degree %d of vertex %d",
-				topo.Capacity(1), g.InDegree(id), v)}
+				topo.Capacity(1), indeg, v)}
 		}
-		for _, p := range g.Pred(id) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			if !g.IsInput(p) && position[p] > position[v] {
 				return &PlayError{Reason: fmt.Sprintf("vertex %d scheduled before predecessor %d", v, p)}
 			}
@@ -192,13 +194,17 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 		return nil, err
 	}
 	n := g.NumVertices()
+	// Hoist the predecessor CSR once: the schedule loop below replays each
+	// scheduled vertex's row three times per step, and the rows are identical
+	// to g.Pred(v) in content and order.
+	predOff, predVal := g.PredecessorCSR()
 	pl := &player{game: game, g: g, topo: topo, asg: asg}
 	pl.lastUseAt = make([]int32, n)
 	for v := range pl.lastUseAt {
 		pl.lastUseAt[v] = -1
 	}
 	for i, v := range asg.Order {
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			pl.lastUseAt[p] = int32(i)
 		}
 	}
@@ -225,16 +231,18 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	for i, v := range asg.Order {
 		pl.pos = i
 		proc := asg.Proc[i]
+		// One row slice serves every predecessor pass of this step.
+		preds := predVal[predOff[v]:predOff[v+1]]
 		// Values consumed for the last time by this step stop mattering now
 		// (the reference player's nextUse skips uses at the current position).
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			if pl.lastUseAt[p] == int32(i) && !pl.noMoreUses[p] {
 				pl.noMoreUses[p] = true
 				pl.refreshDead(p)
 			}
 		}
-		pins := pl.newStepPins(g.Pred(v))
-		for _, p := range g.Pred(v) {
+		pins := pl.newStepPins(preds)
+		for _, p := range preds {
 			if err := pl.fetchToRegisters(p, proc, pins); err != nil {
 				return nil, err
 			}
@@ -250,7 +258,7 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 		pl.refreshDead(v)
 		pl.clock++
 		// Free dead values in the register file immediately (no data movement).
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			pl.dropIfDead(regs, p)
 		}
 		pl.dropIfDead(regs, v)

@@ -29,10 +29,14 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 		return nil, err
 	}
 	n := g.NumVertices()
+	// Even the reference player hoists the predecessor CSR: the rows are
+	// identical to g.Pred(v), and reading them directly keeps the measured
+	// Play-vs-PlayReference gap about eviction bookkeeping, not facade calls.
+	predOff, predVal := g.PredecessorCSR()
 	pl := &refPlayer{game: game, g: g, topo: topo, asg: asg,
 		uses: make([][]int, n), usePtr: make([]int, n)}
 	for i, v := range asg.Order {
-		for _, p := range g.Pred(v) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			pl.uses[p] = append(pl.uses[p], i)
 		}
 	}
@@ -48,11 +52,12 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 	for i, v := range asg.Order {
 		pl.pos = i
 		proc := asg.Proc[i]
-		pinned := make(map[cdag.VertexID]bool, g.InDegree(v)+1)
-		for _, p := range g.Pred(v) {
+		preds := predVal[predOff[v]:predOff[v+1]]
+		pinned := make(map[cdag.VertexID]bool, len(preds)+1)
+		for _, p := range preds {
 			pinned[p] = true
 		}
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			if err := pl.fetchToRegisters(p, proc, pinned); err != nil {
 				return nil, err
 			}
@@ -67,7 +72,7 @@ func PlayReference(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error)
 		pl.touch(regs, v)
 		pl.clock++
 		// Free dead values in the register file immediately (no data movement).
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			pl.dropIfDead(regs, p)
 		}
 		pl.dropIfDead(regs, v)

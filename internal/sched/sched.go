@@ -60,13 +60,6 @@ func MatMulBlocked(r *gen.MatMulResult, block int) []cdag.VertexID {
 	return order
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // StencilSkewed returns a skewed (parallelogram) tiled schedule for a Jacobi
 // CDAG: spatial tiles of the given width are shifted by one cell per time
 // step, which makes tile-major, time-minor execution legal for radius-1
@@ -220,9 +213,12 @@ func GridIndexFromLabel(g *cdag.Graph) func(cdag.VertexID) (int, bool) {
 }
 
 // Validate checks that the schedule covers exactly the non-input vertices of
-// g in dependence order; it returns nil when the schedule is executable.
+// g in dependence order; it returns nil when the schedule is executable.  The
+// dependence sweep visits every predecessor row, so it reads the hoisted CSR
+// arrays directly.
 func Validate(g *cdag.Graph, order []cdag.VertexID) error {
 	n := g.NumVertices()
+	predOff, predVal := g.PredecessorCSR()
 	pos := make([]int, n)
 	for i := range pos {
 		pos[i] = -1
@@ -240,14 +236,13 @@ func Validate(g *cdag.Graph, order []cdag.VertexID) error {
 		pos[v] = i
 	}
 	for v := 0; v < n; v++ {
-		id := cdag.VertexID(v)
-		if g.IsInput(id) {
+		if g.IsInput(cdag.VertexID(v)) {
 			continue
 		}
 		if pos[v] < 0 {
 			return fmt.Errorf("sched: vertex %d missing from schedule", v)
 		}
-		for _, p := range g.Pred(id) {
+		for _, p := range predVal[predOff[v]:predOff[v+1]] {
 			if !g.IsInput(p) && pos[p] > pos[v] {
 				return fmt.Errorf("sched: vertex %d scheduled before predecessor %d", v, p)
 			}

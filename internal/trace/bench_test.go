@@ -1,0 +1,22 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceDot measures the tracer's hot construction loops: recording
+// two length-n input vectors (flat-label staging) and their inner product
+// (multiply layer plus balanced in-place reduction).
+func BenchmarkTraceDot(b *testing.B) {
+	const n = 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New("dot")
+		a := t.InputVector("a", xs)
+		c := t.InputVector("b", xs)
+		t.Output(t.Dot(a, c))
+	}
+}

@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"strconv"
 
 	"cdagio/internal/cdag"
 )
@@ -46,11 +47,19 @@ func (t *Tracer) Input(label string, x float64) Value {
 	return Value{vertex: v, num: x}
 }
 
-// InputVector records a vector of inputs labelled label[i].
+// InputVector records a vector of inputs labelled label[i].  The labels are
+// formatted into one reusable byte buffer and staged through the graph's
+// flat label storage, so tracing a length-n vector costs O(1) allocations
+// instead of one string per element.
 func (t *Tracer) InputVector(label string, xs []float64) []Value {
 	out := make([]Value, len(xs))
+	buf := make([]byte, 0, len(label)+16)
 	for i, x := range xs {
-		out[i] = t.Input(fmt.Sprintf("%s[%d]", label, i), x)
+		buf = append(buf[:0], label...)
+		buf = append(buf, '[')
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, ']')
+		out[i] = Value{vertex: t.graph.AddInputBytes(buf), num: x}
 	}
 	return out
 }
@@ -111,16 +120,20 @@ func (t *Tracer) Dot(a, b []Value) Value {
 	for i := range a {
 		terms[i] = t.Mul(a[i], b[i])
 	}
+	// Halve the term list in place: the Add vertices are recorded in exactly
+	// the order the per-round append built them, without a fresh slice per
+	// reduction round.
 	for len(terms) > 1 {
-		var next []Value
+		half := 0
 		for i := 0; i < len(terms); i += 2 {
 			if i+1 == len(terms) {
-				next = append(next, terms[i])
-				continue
+				terms[half] = terms[i]
+			} else {
+				terms[half] = t.Add(terms[i], terms[i+1])
 			}
-			next = append(next, t.Add(terms[i], terms[i+1]))
+			half++
 		}
-		terms = next
+		terms = terms[:half]
 	}
 	return terms[0]
 }
