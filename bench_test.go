@@ -19,6 +19,7 @@ package cdagio
 //	Thms 5-7 -> BenchmarkParallelBoundScaling
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -377,4 +378,42 @@ func BenchmarkParallelBoundScaling(b *testing.B) {
 	}
 	b.ReportMetric(vert1/vert4, "vertical-speedup-4nodes")
 	b.ReportMetric(horiz4, "ghost-words-per-node")
+}
+
+// BenchmarkWorkspaceReuse measures the payoff of the Workspace handle: the
+// same analysis repeated on one reused handle ("reused") versus repeated
+// cold free-function calls ("cold"), each of which opens a single-use
+// Workspace and re-derives all per-graph state.  The reused handle amortizes
+// the memoized topological schedule, the degree-ranked candidate sample and
+// the pooled cut-solver networks, so it must be strictly cheaper in both
+// ns/op and allocs/op; the pair of sub-benchmarks records that margin in the
+// BENCH_<n>.json trajectory.
+func BenchmarkWorkspaceReuse(b *testing.B) {
+	g := CG(2, 6, 2).Graph
+	g.Materialize()
+	opts := AnalyzeOptions{FastMemory: 64, Concurrency: 1}
+	ctx := context.Background()
+	b.Run("reused", func(b *testing.B) {
+		ws := Open(g)
+		// Warm the handle once so the steady state — the serving loop the
+		// handle exists for — is what gets measured.
+		if _, err := ws.Analyze(ctx, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Analyze(ctx, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze(g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

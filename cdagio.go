@@ -5,7 +5,18 @@
 // Parallel Execution" (SPAA 2014 / Inria RR-8522).
 //
 // The package is a thin facade over the implementation packages under
-// internal/.  It exposes:
+// internal/.  Its primary entry point is the Workspace handle: Open(g)
+// returns a per-graph handle that owns all derived analysis state — compiled
+// CSR adjacency, cached min-cut networks, pooled solvers, memoized schedules
+// and candidate samples — and exposes every engine as a context-first method:
+//
+//	ws := cdagio.Open(g)
+//	analysis, err := ws.Analyze(ctx, cdagio.AnalyzeOptions{FastMemory: 64})
+//	w, at, err := ws.WMax(ctx, nil, cdagio.WMaxOptions{})
+//
+// Repeated analyses of one CDAG through one Workspace amortize all of that
+// state, and cancelling the context (a deadline, a dropped request, a signal)
+// stops the long-running engines promptly.  The engines cover:
 //
 //   - CDAG construction: generators for the kernels the paper analyzes
 //     (matrix multiplication, the Section-3 composite, FFT, Jacobi stencils,
@@ -19,7 +30,13 @@
 //     closed forms for CG, GMRES, Jacobi and matmul;
 //   - machine models and balance analysis: the Table-1 machines and the
 //     Equation 7–10 bandwidth-bound verdicts;
-//   - the unified Analyzer that combines all of the above into reports.
+//   - the unified analyzer (Workspace.Analyze) combining all of the above
+//     into reports.
+//
+// The pre-Workspace free functions (Analyze, WMax, OptimalIO, PlayParallel,
+// SimulateMemory, ...) remain as deprecated wrappers that open a single-use
+// Workspace under context.Background(); their results are bit-identical to
+// the corresponding Workspace methods.
 //
 // The runnable entry points live under cmd/ (iolb, pebblesim, balance,
 // cdaggen) and examples/.
@@ -119,20 +136,34 @@ func NewGame(g *Graph, variant pebble.Variant, s int, record bool) *Game {
 }
 
 // PlaySchedule executes a vertex schedule as a complete sequential game.
+//
+// Deprecated: use Open(g).Play(variant, s, order, policy, record), which
+// reuses the graph's derived state across plays.  Results are bit-identical.
 func PlaySchedule(g *Graph, variant pebble.Variant, s int, order []VertexID,
 	policy pebble.EvictionPolicy, record bool) (GameResult, error) {
-	return pebble.PlaySchedule(g, variant, s, order, policy, record)
+	ws, _ := openBackground(g)
+	return ws.Play(variant, s, order, policy, record)
 }
 
 // PlayTopological executes the topological schedule of g.
+//
+// Deprecated: use Open(g).Play(variant, s, nil, policy, false) — a nil order
+// selects the workspace's memoized topological schedule.  Results are
+// bit-identical.
 func PlayTopological(g *Graph, variant pebble.Variant, s int, policy pebble.EvictionPolicy) (GameResult, error) {
-	return pebble.PlayTopological(g, variant, s, policy)
+	ws, _ := openBackground(g)
+	return ws.Play(variant, s, nil, policy, false)
 }
 
 // OptimalIO computes the exact minimum I/O of small CDAGs by state-space
 // search.
+//
+// Deprecated: use Open(g).OptimalIO(ctx, variant, s, opts), which bounds the
+// exponential search with a cancellable context.  Results under
+// context.Background() are bit-identical.
 func OptimalIO(g *Graph, variant pebble.Variant, s int, opts pebble.OptimalOptions) (int, error) {
-	return pebble.OptimalIO(g, variant, s, opts)
+	ws, ctx := openBackground(g)
+	return ws.OptimalIO(ctx, variant, s, opts)
 }
 
 // --- Parallel pebble game and simulators -------------------------------------
@@ -154,8 +185,12 @@ var (
 )
 
 // PlayParallel executes an assignment as a complete P-RBW game.
+//
+// Deprecated: use Open(g).PlayParallel(ctx, topo, asg), which makes long
+// games cancellable.  Results under context.Background() are bit-identical.
 func PlayParallel(g *Graph, topo Topology, asg Assignment) (*ParallelStats, error) {
-	return prbw.Play(g, topo, asg)
+	ws, ctx := openBackground(g)
+	return ws.PlayParallel(ctx, topo, asg)
 }
 
 // MemSimConfig describes the machine simulated by the lightweight
@@ -172,8 +207,12 @@ const (
 )
 
 // SimulateMemory runs the lightweight distributed cache simulator.
+//
+// Deprecated: use Open(g).Simulate(ctx, cfg, order, owner).  Results are
+// bit-identical.
 func SimulateMemory(g *Graph, cfg MemSimConfig, order []VertexID, owner []int) (*MemSimStats, error) {
-	return memsim.Run(g, cfg, order, owner)
+	ws, ctx := openBackground(g)
+	return ws.Simulate(ctx, cfg, order, owner)
 }
 
 // MemorySweepJob is one simulation of a sweep: a machine configuration, a
@@ -185,8 +224,13 @@ type MemorySweepJob = memsim.Job
 // results are deterministically identical to calling SimulateMemory on each
 // job serially, for every worker count.  The per-S tightness sweeps and
 // per-schedule ablations of Section 5.4 run on this engine.
+//
+// Deprecated: use Open(g).SimulateSweep(ctx, jobs, workers), which makes the
+// sweep cancellable between jobs.  Results under context.Background() are
+// bit-identical at every worker count.
 func SimulateMemorySweep(g *Graph, jobs []MemorySweepJob, workers int) ([]*memsim.Stats, error) {
-	return memsim.Sweep(g, jobs, workers)
+	ws, ctx := openBackground(g)
+	return ws.SimulateSweep(ctx, jobs, workers)
 }
 
 // --- Schedules ----------------------------------------------------------------
@@ -227,21 +271,40 @@ var (
 )
 
 // WavefrontAt returns the min-cut wavefront lower bound induced by a vertex.
+//
+// Deprecated: use Open(g).WavefrontAt(ctx, x), whose pooled solvers live as
+// long as the handle.  Values are bit-identical.  (This wrapper stays on the
+// process-wide solver pool rather than a single-use Workspace so existing
+// per-piece query loops keep their warm-scratch behavior.)
 func WavefrontAt(g *Graph, x VertexID) int { return wavefront.MinWavefrontAt(g, x) }
 
 // WMax returns the maximum min-cut wavefront bound over the candidates,
 // computed by the parallel pruned search engine with default options.
-func WMax(g *Graph, candidates []VertexID) (int, VertexID) { return wavefront.WMax(g, candidates) }
+//
+// Deprecated: use Open(g).WMax(ctx, candidates, WMaxOptions{}), which is
+// cancellable and reuses the workspace's solver pool.  The bound and witness
+// under context.Background() are bit-identical.
+func WMax(g *Graph, candidates []VertexID) (int, VertexID) {
+	ws, ctx := openBackground(g)
+	w, at, _ := ws.WMax(ctx, candidates, WMaxOptions{})
+	return w, at
+}
 
-// WMaxOptions configures WMaxWithOptions: the worker-pool width of the
-// candidate search and whether upper-bound pruning is applied.
+// WMaxOptions configures the w^max candidate search (Workspace.WMax and the
+// deprecated WMaxWithOptions): the worker-pool width and whether upper-bound
+// pruning is applied.
 type WMaxOptions = wavefront.WMaxOptions
 
 // WMaxWithOptions is WMax with an explicit worker-pool width and pruning
 // control.  The result (bound and witness vertex) always equals the serial
 // all-candidates scan, independent of worker count.
+//
+// Deprecated: use Open(g).WMax(ctx, candidates, opts).  The bound and witness
+// under context.Background() are bit-identical at every worker count.
 func WMaxWithOptions(g *Graph, candidates []VertexID, opts WMaxOptions) (int, VertexID) {
-	return wavefront.WMaxOpts(g, candidates, opts)
+	ws, ctx := openBackground(g)
+	w, at, _ := ws.WMax(ctx, candidates, opts)
+	return w, at
 }
 
 // --- Machines and balance ------------------------------------------------------
@@ -271,7 +334,14 @@ type Analysis = core.Analysis
 
 // Analyze computes lower bounds with every applicable technique and a
 // measured upper bound for the CDAG.
-func Analyze(g *Graph, opts AnalyzeOptions) (*Analysis, error) { return core.Analyze(g, opts) }
+//
+// Deprecated: use Open(g).Analyze(ctx, opts), which is cancellable and
+// amortizes the graph's derived state across repeated analyses.  Results
+// under context.Background() are bit-identical.
+func Analyze(g *Graph, opts AnalyzeOptions) (*Analysis, error) {
+	ws, ctx := openBackground(g)
+	return ws.Analyze(ctx, opts)
+}
 
 // Evaluation results for the paper's Section 5 analyses.
 type (

@@ -14,18 +14,23 @@
 //	balance -all -sim -S 32,64,128 -j 8
 //
 // With -sim the Section 5.2–5.4 analyses additionally run empirical
-// per-S memory-simulation sweeps on small generated CDAGs; the sweep's
-// independent simulations fan out over SimulateMemorySweep's worker pool,
-// bounded by -j exactly like the iolb and pebblesim commands bound their
-// wavefront searches.
+// per-S memory-simulation sweeps on small generated CDAGs; each sweep runs
+// on its graph's cdagio.Workspace, its independent simulations fanning out
+// over the sweep worker pool, bounded by -j exactly like the iolb and
+// pebblesim commands bound their wavefront searches.  -timeout bounds the
+// whole run, and an interrupt (Ctrl-C / SIGTERM) cancels the sweeps between
+// simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cdagio"
 )
@@ -48,8 +53,16 @@ func main() {
 		simN     = flag.Int("simn", 8, "grid points per dimension of the simulated CDAGs (-sim)")
 		simNodes = flag.Int("nodes", 2, "nodes of the simulated machine for the Jacobi -sim sweep")
 		jobs     = flag.Int("j", 0, "worker goroutines for the -sim sweeps (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort after this long (0 = no deadline); Ctrl-C cancels too")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if !*all && !*table1 && !*cg && !*gmres && !*jacobi && !*composite {
 		*all = true
 	}
@@ -77,7 +90,7 @@ func main() {
 		fmt.Print(ev.Report())
 		if *sim {
 			g := cdagio.CG(2, *simN, 2).Graph
-			exitOn(simSweep("CG", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
+			exitOn(simSweep(ctx, "CG", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
 		}
 		fmt.Println()
 	}
@@ -90,7 +103,7 @@ func main() {
 		fmt.Print(ev.Report())
 		if *sim {
 			g := cdagio.GMRES(2, *simN, 2).Graph
-			exitOn(simSweep("GMRES", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
+			exitOn(simSweep(ctx, "GMRES", g, cdagio.TopologicalSchedule(g), nil, 1, sweepS, *jobs))
 		}
 		fmt.Println()
 	}
@@ -104,7 +117,7 @@ func main() {
 		if *sim {
 			r := cdagio.Jacobi(2, 4**simN, *simN, cdagio.StencilBox)
 			owner := cdagio.BlockPartitionGrid(r, *simNodes)
-			exitOn(simSweep("Jacobi (skewed)", r.Graph, cdagio.StencilSkewed(r, 4),
+			exitOn(simSweep(ctx, "Jacobi (skewed)", r.Graph, cdagio.StencilSkewed(r, 4),
 				owner, *simNodes, sweepS, *jobs))
 		}
 		fmt.Println()
@@ -118,11 +131,11 @@ func main() {
 }
 
 // simSweep runs one empirical per-S memory-simulation sweep: one simulation
-// job per fast-memory capacity, all against the shared graph, fanned out over
-// SimulateMemorySweep's worker pool (workers = the -j flag; ≤ 0 selects
-// GOMAXPROCS).  Capacities too small to hold a vertex together with its
-// predecessors are reported and skipped.
-func simSweep(name string, g *cdagio.Graph, order []cdagio.VertexID, owner []int,
+// job per fast-memory capacity, all against the shared graph's Workspace,
+// fanned out over the sweep worker pool (workers = the -j flag; ≤ 0 selects
+// GOMAXPROCS) under ctx.  Capacities too small to hold a vertex together
+// with its predecessors are reported and skipped.
+func simSweep(ctx context.Context, name string, g *cdagio.Graph, order []cdagio.VertexID, owner []int,
 	nodes int, sweepS []int, workers int) error {
 
 	minWords := 1
@@ -148,7 +161,7 @@ func simSweep(name string, g *cdagio.Graph, order []cdagio.VertexID, owner []int
 	if len(jobs) == 0 {
 		return nil
 	}
-	stats, err := cdagio.SimulateMemorySweep(g, jobs, workers)
+	stats, err := cdagio.Open(g).SimulateSweep(ctx, jobs, workers)
 	if err != nil {
 		return err
 	}

@@ -6,16 +6,27 @@
 //	iolb -kernel matmul -n 16 -S 64
 //	iolb -kernel jacobi -dim 2 -n 32 -steps 8 -S 128
 //	iolb -kernel cg -dim 2 -n 16 -iters 3 -S 256 -candidates 64
+//	iolb -kernel jacobi -n 100 -steps 10 -candidates -1 -timeout 30s
 //
 // The report lists every lower-bound technique that applied (compulsory I/O,
 // min-cut wavefront, 2S-partition, exact search on tiny CDAGs), the measured
 // I/O of a Belady-evicted schedule, and the resulting gap.
+//
+// The analysis runs on a single cdagio.Workspace under a cancellable context:
+// -timeout bounds the wall-clock, and an interrupt (Ctrl-C / SIGTERM) stops
+// the engines at their next cancellation point instead of killing the
+// process mid-solve.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"cdagio"
 )
@@ -32,15 +43,26 @@ func main() {
 		jobs       = flag.Int("j", 0, "worker goroutines for the wavefront search (0 = GOMAXPROCS)")
 		exact      = flag.Int("exact", 0, "run the exact optimal search on CDAGs up to this many vertices")
 		blocked    = flag.Bool("blocked", false, "use the blocked/skewed schedule instead of the topological one where available")
+		timeout    = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); Ctrl-C cancels too")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, schedule, err := buildKernel(*kernel, *n, *dim, *steps, *iters, *blocked)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iolb:", err)
 		os.Exit(1)
 	}
-	analysis, err := cdagio.Analyze(g, cdagio.AnalyzeOptions{
+	ws := cdagio.Open(g)
+	start := time.Now()
+	analysis, err := ws.Analyze(ctx, cdagio.AnalyzeOptions{
 		FastMemory:          *s,
 		WavefrontCandidates: *candidates,
 		Concurrency:         *jobs,
@@ -48,7 +70,11 @@ func main() {
 		Schedule:            schedule,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iolb:", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "iolb: analysis cancelled after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+		} else {
+			fmt.Fprintln(os.Stderr, "iolb:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Print(analysis.Report())

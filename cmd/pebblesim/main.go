@@ -9,17 +9,24 @@
 //	pebblesim -kernel matmul -n 12 -S 48 -variant hk       # allow recomputation
 //	pebblesim -kernel jacobi -dim 1 -n 64 -steps 8 \
 //	          -parallel -nodes 2 -procs 2 -cache 128       # P-RBW game
+//
+// The games run on a single cdagio.Workspace under a cancellable context:
+// -timeout bounds the wall-clock, and an interrupt (Ctrl-C / SIGTERM) stops
+// the w^max search and the P-RBW player at their next cancellation point.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cdagio"
 	"cdagio/internal/pebble"
 	"cdagio/internal/prbw"
-	"cdagio/internal/sched"
 )
 
 func main() {
@@ -43,8 +50,18 @@ func main() {
 
 		wmax = flag.Bool("wmax", false, "also report the w^max min-cut wavefront lower bound")
 		jobs = flag.Int("j", 0, "worker goroutines for the w^max search (0 = GOMAXPROCS)")
+
+		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no deadline); Ctrl-C cancels too")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := buildKernel(*kernel, *n, *dim, *steps, *iters)
 	if err != nil {
@@ -52,20 +69,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(g)
+	ws := cdagio.Open(g)
 
 	if *wmax {
-		w, at := cdagio.WMaxWithOptions(g, nil, cdagio.WMaxOptions{Concurrency: *jobs})
+		w, at, err := ws.WMax(ctx, nil, cdagio.WMaxOptions{Concurrency: *jobs})
+		exitOn(err)
 		fmt.Printf("w^max >= %d (at vertex %d, all candidates)\n", w, at)
 	}
 
 	if *parallel {
 		topo := prbw.Distributed(*nodes, *procs, *regs, *cache, *mem)
 		asg := prbw.RoundRobin(g, topo.Processors(), *grain)
-		stats, err := cdagio.PlayParallel(g, topo, asg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pebblesim:", err)
-			os.Exit(1)
-		}
+		stats, err := ws.PlayParallel(ctx, topo, asg)
+		exitOn(err)
 		fmt.Print(stats)
 		return
 	}
@@ -78,12 +94,22 @@ func main() {
 	if *policy == "lru" {
 		p = pebble.LRU
 	}
-	res, err := cdagio.PlaySchedule(g, v, *s, sched.Topological(g), p, false)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pebblesim:", err)
-		os.Exit(1)
-	}
+	// A nil order plays the workspace's memoized topological schedule.
+	res, err := ws.Play(v, *s, nil, p, false)
+	exitOn(err)
 	fmt.Println(res)
+}
+
+func exitOn(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "pebblesim: cancelled:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "pebblesim:", err)
+	}
+	os.Exit(1)
 }
 
 func buildKernel(kernel string, n, dim, steps, iters int) (*cdagio.Graph, error) {

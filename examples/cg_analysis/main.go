@@ -35,9 +35,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("CG solved a %d-unknown Poisson system in %d iterations (residual %.2e, %d FLOPs)\n",
-		grid.Points(), stats.Iterations, stats.Residual, stats.Flops)
-	_ = x
+	fmt.Printf("CG solved a %d-unknown Poisson system in %d iterations (residual %.2e, %d FLOPs, |x|_inf %.4f)\n",
+		grid.Points(), stats.Iterations, stats.Residual, stats.Flops, x.NormInf())
 
 	// --- 2. The CG CDAG and its wavefronts (Theorem 8). ----------------------
 	const (

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,11 +15,7 @@ import (
 	"cdagio/internal/cdag"
 	"cdagio/internal/graphalg"
 	"cdagio/internal/memsim"
-	"cdagio/internal/partition"
-	"cdagio/internal/pebble"
 	"cdagio/internal/prbw"
-	"cdagio/internal/sched"
-	"cdagio/internal/wavefront"
 )
 
 // Options configures a sequential CDAG analysis.
@@ -87,91 +84,14 @@ func (a *Analysis) Gap() float64 {
 // Analyze performs a sequential data-movement analysis of g with S words of
 // fast memory: every applicable lower-bound technique plus a measured
 // schedule as the upper bound.
+//
+// Deprecated: Analyze opens a fresh Workspace per call, re-deriving the
+// per-graph state (schedules, candidate samples, solver networks) every time
+// and offering no cancellation.  Use NewWorkspace(g).Analyze(ctx, opts) —
+// cdagio.Open at the facade — and reuse the handle across analyses of the
+// same graph.  The results are bit-identical.
 func Analyze(g *cdag.Graph, opts Options) (*Analysis, error) {
-	if opts.FastMemory < 1 {
-		return nil, fmt.Errorf("core: fast memory must be at least 1 word")
-	}
-	s := opts.FastMemory
-	a := &Analysis{Graph: g, FastMemory: s}
-
-	// Trivial compulsory bound: every input is loaded and every output stored
-	// at least once in the RBW game.
-	a.LowerBounds = append(a.LowerBounds, bounds.Bound{
-		Value:     float64(g.NumInputs() + g.NumOutputs()),
-		Kind:      bounds.Lower,
-		Technique: "compulsory |I| + |O|",
-	})
-
-	// Min-cut wavefront bound (Lemma 2).
-	candidates := opts.WavefrontCandidates
-	var candidateSet []cdag.VertexID
-	switch {
-	case candidates < 0:
-		candidateSet = nil // all vertices
-	case candidates == 0:
-		candidateSet = wavefront.TopCandidates(g, 32)
-	default:
-		candidateSet = wavefront.TopCandidates(g, candidates)
-	}
-	a.WMax, a.WMaxAt = wavefront.WMaxOpts(g, candidateSet, wavefront.WMaxOptions{Concurrency: opts.Concurrency})
-	a.LowerBounds = append(a.LowerBounds, bounds.Bound{
-		Value:       float64(wavefront.Lemma2Bound(a.WMax, s)),
-		Kind:        bounds.Lower,
-		Technique:   "min-cut wavefront (Lemma 2)",
-		Assumptions: fmt.Sprintf("wmax >= %d at vertex %d", a.WMax, a.WMaxAt),
-	})
-
-	// 2S-partition bound (Corollary 1) via the exact U(2S) search on small
-	// CDAGs.
-	exactLimit := opts.ExactPartitionLimit
-	if exactLimit == 0 {
-		exactLimit = 20
-	}
-	if g.NumOperations() <= exactLimit {
-		if u, err := partition.MaxVertexSetSizeExact(g, 2*s, exactLimit); err == nil && u > 0 {
-			a.LowerBounds = append(a.LowerBounds, bounds.Bound{
-				Value:       float64(partition.Corollary1Bound(s, g.NumOperations(), u)),
-				Kind:        bounds.Lower,
-				Technique:   "2S-partition (Corollary 1)",
-				Assumptions: fmt.Sprintf("exact U(2S) = %d", u),
-			})
-		}
-	}
-
-	// Exact optimal search on very small CDAGs.
-	if opts.ExactOptimalLimit > 0 && g.NumVertices() <= opts.ExactOptimalLimit {
-		if opt, err := pebble.OptimalIO(g, pebble.RBW, s, pebble.OptimalOptions{}); err == nil {
-			b := bounds.Bound{
-				Value:     float64(opt),
-				Kind:      bounds.Lower,
-				Technique: "exact optimal game (Dijkstra search)",
-			}
-			a.ExactOptimal = &b
-			a.LowerBounds = append(a.LowerBounds, b)
-		}
-	}
-
-	// Measured upper bound.
-	order := opts.Schedule
-	scheduleName := "topological"
-	if order == nil {
-		order = sched.Topological(g)
-	} else {
-		scheduleName = "caller-supplied"
-	}
-	res, err := pebble.PlaySchedule(g, pebble.RBW, s, order, pebble.Belady, false)
-	if err != nil {
-		return nil, fmt.Errorf("core: schedule playback failed: %w", err)
-	}
-	a.MeasuredIO = int64(res.IO())
-	a.ScheduleUsed = scheduleName
-	a.Upper = bounds.Bound{
-		Value:       float64(res.IO()),
-		Kind:        bounds.Upper,
-		Technique:   fmt.Sprintf("RBW schedule player (%s order, Belady eviction)", scheduleName),
-		Assumptions: fmt.Sprintf("S=%d", s),
-	}
-	return a, nil
+	return NewWorkspace(g).Analyze(context.Background(), opts)
 }
 
 // Report renders the analysis as a human-readable block.

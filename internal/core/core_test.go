@@ -13,11 +13,6 @@ import (
 )
 
 func TestAnalyzeSmallGraphs(t *testing.T) {
-	cases := []struct {
-		name string
-		g    interface{ NumVertices() int }
-	}{}
-	_ = cases
 	for _, tc := range []struct {
 		name string
 		run  func(t *testing.T)

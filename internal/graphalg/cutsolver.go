@@ -576,19 +576,6 @@ func (cs *CutSolver) MaxVertexDisjointPaths(g *cdag.Graph, sources, targets []cd
 	return k
 }
 
-// MinDominatorSize is MinDominatorSize on this solver's scratch.
-func (cs *CutSolver) MinDominatorSize(g *cdag.Graph, target *cdag.VertexSet) (int, []cdag.VertexID) {
-	inputs := g.Inputs()
-	if len(inputs) == 0 || target.Len() == 0 {
-		return 0, nil
-	}
-	k, cut := cs.MinVertexCut(g, inputs, target.Elements(), CutOptions{})
-	if k < 0 {
-		return 0, nil
-	}
-	return k, cut
-}
-
 // solverPool recycles CutSolvers behind the package-level wrappers, so
 // repeated cut queries — the dominator sweeps of the 2S-partition bound, the
 // per-piece wavefronts of the Theorem 8/9 decompositions — reuse networks and

@@ -1,0 +1,91 @@
+package graphalg
+
+import (
+	"sync"
+
+	"cdagio/internal/cdag"
+)
+
+// SolverPool is a per-graph free list of CutSolvers: every solver it hands out
+// is already bound to the pool's graph, so repeated cut queries — the w^max
+// candidate scans, the per-piece wavefronts of the Theorem 8/9 decompositions,
+// dominator sweeps — reuse the cached static vertex-split network, the CSR
+// hoists and the epoch-stamped traversal scratch instead of rebuilding them
+// per call.  This is the solver cache a cdagio.Workspace owns; unlike the
+// package-internal sync.Pool behind the free-function wrappers, a SolverPool's
+// lifetime (and therefore the lifetime of the cached networks) is controlled
+// by its owner, and its solvers never migrate to queries against other graphs.
+//
+// A SolverPool is safe for concurrent use; the individual CutSolvers it hands
+// out are not (use one per goroutine, returning it with Put).
+type SolverPool struct {
+	g    *cdag.Graph
+	mu   sync.Mutex
+	free []*CutSolver
+}
+
+// NewSolverPool returns an empty pool bound to g.  It materializes g's CSR
+// arrays up front so concurrent Get calls never race on the graph's lazy
+// compilation.
+func NewSolverPool(g *cdag.Graph) *SolverPool {
+	g.Materialize()
+	return &SolverPool{g: g}
+}
+
+// Graph returns the graph the pool's solvers are bound to.
+func (p *SolverPool) Graph() *cdag.Graph { return p.g }
+
+// Get returns a solver bound to the pool's graph, reusing a previously
+// returned one when available.
+func (p *SolverPool) Get() *CutSolver {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		cs := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return cs
+	}
+	p.mu.Unlock()
+	cs := NewCutSolver()
+	cs.ensureGraph(p.g)
+	return cs
+}
+
+// Put returns a solver obtained from Get to the pool.
+func (p *SolverPool) Put(cs *CutSolver) {
+	if cs == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, cs)
+	p.mu.Unlock()
+}
+
+// MinWavefrontAt is MinWavefrontLowerBoundStrip on a pooled solver.
+func (p *SolverPool) MinWavefrontAt(x cdag.VertexID) int {
+	cs := p.Get()
+	defer p.Put(cs)
+	return cs.MinWavefrontAt(p.g, x)
+}
+
+// MinVertexCut is MinVertexCut on a pooled solver.
+func (p *SolverPool) MinVertexCut(sources, targets []cdag.VertexID, opts CutOptions) (int, []cdag.VertexID) {
+	cs := p.Get()
+	defer p.Put(cs)
+	return cs.MinVertexCut(p.g, sources, targets, opts)
+}
+
+// MaxVertexDisjointPaths is MaxVertexDisjointPaths on a pooled solver.
+func (p *SolverPool) MaxVertexDisjointPaths(sources, targets []cdag.VertexID) int {
+	cs := p.Get()
+	defer p.Put(cs)
+	return cs.MaxVertexDisjointPaths(p.g, sources, targets)
+}
+
+// MinDominatorSize is MinDominatorSize on a pooled solver.
+func (p *SolverPool) MinDominatorSize(target *cdag.VertexSet) (int, []cdag.VertexID) {
+	cs := p.Get()
+	defer p.Put(cs)
+	return cs.MinDominatorSize(p.g, target)
+}

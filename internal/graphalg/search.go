@@ -1,6 +1,7 @@
 package graphalg
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -22,6 +23,13 @@ type WMaxOptions struct {
 	// in every mode — so disabling it is only useful for benchmarking the
 	// unpruned search.
 	DisablePruning bool
+	// Pool supplies the per-worker CutSolvers.  Workers of a search draw
+	// their solver from it and return it afterwards, so searches sharing a
+	// pool (repeated analyses through one cdagio.Workspace) amortize the
+	// solvers' networks and scratch.  A nil pool allocates fresh solvers for
+	// the search, matching the historical behavior.  The pool, when set, must
+	// be bound to the searched graph.
+	Pool *SolverPool
 }
 
 // packEntry encodes a (bound, candidate index) pair into one int64 so the
@@ -57,14 +65,40 @@ func unpackEntry(e int64) (bound int, idx int) {
 // candidate index than a bound-attaining candidate already solved.  Skipped
 // candidates therefore never affect the packed maximum the search returns.
 func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
+	// context.Background() is never cancelled, so the error is structurally
+	// impossible here.
+	w, at, _ := MaxMinWavefrontLowerBoundCtx(context.Background(), g, candidates, opts)
+	return w, at
+}
+
+// MaxMinWavefrontLowerBoundCtx is MaxMinWavefrontLowerBoundOpts under a
+// context: the candidate scan checks ctx at its pruning-tier boundaries —
+// before a candidate is claimed, and again between the descendant-cone and
+// ancestor-cone explorations of candidates that survive the precomputed
+// bound — and returns ctx.Err() promptly once the context is cancelled.
+// Individual Dinic solves stay atomic: cancellation latency is bounded by the
+// worker count times the cost of one candidate, never by the length of the
+// candidate list.  Under a never-cancelled context (context.Background()) the
+// scan is bit-identical to MaxMinWavefrontLowerBoundOpts — same bound, same
+// witness — at every worker count.
+func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, cdag.InvalidVertex, err
+	}
 	// Compile any staged edges into the CSR arrays before the workers start:
 	// the lazy materialization is not synchronized.
 	g.Materialize()
+	// A pool bound to another graph would hand out solvers whose cached CSR
+	// views index the wrong adjacency; ignore it rather than silently search
+	// the wrong graph (fresh solvers are merely slower, never wrong).
+	if opts.Pool != nil && opts.Pool.g != g {
+		opts.Pool = nil
+	}
 	if candidates == nil {
 		candidates = g.Vertices()
 	}
 	if len(candidates) == 0 {
-		return 0, cdag.InvalidVertex
+		return 0, cdag.InvalidVertex, nil
 	}
 	workers := opts.Concurrency
 	if workers <= 0 {
@@ -118,7 +152,7 @@ func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, op
 			}
 		}
 	}
-	parallelFor(workers, nc, func(cs *CutSolver, k int) {
+	parallelFor(ctx, opts.Pool, g, workers, nc, func(cs *CutSolver, k int) {
 		i := order[k]
 		x := candidates[i]
 		if ub != nil && packEntry(int(ub[i]), i) < best.Load() {
@@ -134,6 +168,12 @@ func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, op
 			if packEntry(cs.lateBound(), i) < best.Load() {
 				return
 			}
+			// Tier boundary: the descendant cone is explored, the ancestor
+			// cone is not yet paid for — the one spot inside a candidate
+			// where bailing out early saves real work.
+			if ctx.Err() != nil {
+				return
+			}
 			cs.exploreAnc(x)
 			if packEntry(cs.earlyBound(x), i) < best.Load() {
 				return
@@ -142,23 +182,45 @@ func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, op
 			cs.exploreAnc(x)
 		}
 		record(cs.minWavefront(x), i)
-	}, g)
+	})
+	if err := ctx.Err(); err != nil {
+		return 0, cdag.InvalidVertex, err
+	}
 
 	bound, idx := unpackEntry(best.Load())
 	if bound == 0 {
 		// Unreachable: at least one candidate is always solved.
-		return 0, cdag.InvalidVertex
+		return 0, cdag.InvalidVertex, nil
 	}
-	return bound, candidates[idx]
+	return bound, candidates[idx], nil
 }
 
 // parallelFor runs body(i) for i in [0, n) over the given number of worker
-// goroutines, each with its own CutSolver bound to g.
-func parallelFor(workers, n int, body func(*CutSolver, int), g *cdag.Graph) {
-	if workers <= 1 {
+// goroutines, each with its own CutSolver bound to g — drawn from pool when
+// one is supplied, freshly allocated otherwise.  Workers re-check ctx before
+// claiming each index and stop claiming once it is cancelled; in-flight body
+// calls run to completion (the caller surfaces ctx.Err()).
+func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, n int, body func(*CutSolver, int)) {
+	acquire := func() *CutSolver {
+		if pool != nil {
+			return pool.Get()
+		}
 		cs := NewCutSolver()
 		cs.ensureGraph(g)
+		return cs
+	}
+	release := func(cs *CutSolver) {
+		if pool != nil {
+			pool.Put(cs)
+		}
+	}
+	if workers <= 1 {
+		cs := acquire()
+		defer release(cs)
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			body(cs, i)
 		}
 		return
@@ -169,9 +231,12 @@ func parallelFor(workers, n int, body func(*CutSolver, int), g *cdag.Graph) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			cs := NewCutSolver()
-			cs.ensureGraph(g)
+			cs := acquire()
+			defer release(cs)
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

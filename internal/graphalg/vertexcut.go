@@ -65,7 +65,13 @@ func MaxVertexDisjointPaths(g *cdag.Graph, sources, targets []cdag.VertexID) int
 // input vertex of g to a vertex of target contains a vertex of D
 // (Definition 3 of Hong & Kung).  Dominator vertices may be inputs or members
 // of target.  Vertices of target with no path from any input are ignored (no
-// path needs covering).  The companion minimum dominator set is returned too.
+// path needs covering).  The companion minimum dominator set is returned too
+// (sorted by vertex ID).
+//
+// The instance is solved strip-locally on a pooled CutSolver: only the
+// vertices on some input→target path become flow-network nodes, so repeated
+// dominator queries cost O(strip), not O(V+E).  The value is identical to the
+// full-network reference MinDominatorSizeFull.
 func MinDominatorSize(g *cdag.Graph, target *cdag.VertexSet) (int, []cdag.VertexID) {
 	cs := acquireSolver()
 	defer releaseSolver(cs)

@@ -15,6 +15,7 @@
 package memsim
 
 import (
+	"context"
 	"fmt"
 
 	"cdagio/internal/cdag"
@@ -130,6 +131,19 @@ func (s *Stats) String() string {
 //   - one store when a value still needed later (or tagged as an output) is
 //     evicted from fast memory without a durable copy.
 func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats, error) {
+	// context.Background() is never cancelled, so RunCtx degenerates to the
+	// historical behavior.
+	return RunCtx(context.Background(), g, cfg, order, owner)
+}
+
+// RunCtx is Run under a context: the simulation loop checks ctx every 4096
+// schedule steps (individual steps stay atomic) and returns ctx.Err()
+// promptly once the context is cancelled.  Under a never-cancelled context
+// the simulation — every charge, every statistic — is bit-identical to Run.
+func RunCtx(ctx context.Context, g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Nodes < 1 {
 		return nil, fmt.Errorf("memsim: need at least one node")
 	}
@@ -285,6 +299,11 @@ func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats,
 	}
 
 	for i, v := range order {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		node := nodeOf(v)
 		// One row slice serves both the pinning and the fetch pass.
 		preds := predVal[predOff[v]:predOff[v+1]]

@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,22 @@ type Job struct {
 // ablations of Section 5.4: the schedules are precomputed and the memory
 // simulations, which dominate the sweep, fan out.
 func Sweep(g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
+	// context.Background() is never cancelled, so SweepCtx degenerates to the
+	// historical behavior.
+	return SweepCtx(context.Background(), g, jobs, workers)
+}
+
+// SweepCtx is Sweep under a context: workers re-check ctx before claiming
+// each job, and the jobs themselves run under ctx (RunCtx checks it every
+// 4096 schedule steps), so cancellation latency is bounded by a few thousand
+// simulation steps per in-flight worker — never by the length of the job
+// list or the size of one job.  A cancelled sweep returns (nil, ctx.Err());
+// partial results are discarded.  Under a never-cancelled context the results
+// are bit-identical to Sweep at every worker count.
+func SweepCtx(ctx context.Context, g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Compile any staged edges before the workers start: the lazy CSR
 	// materialization is not synchronized.
 	g.Materialize()
@@ -40,7 +57,10 @@ func Sweep(g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
 	errs := make([]error, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			out[i], errs[i] = Run(g, j.Cfg, j.Order, j.Owner)
+			if ctx.Err() != nil {
+				break
+			}
+			out[i], errs[i] = RunCtx(ctx, g, j.Cfg, j.Order, j.Owner)
 		}
 	} else {
 		var next atomic.Int64
@@ -50,16 +70,24 @@ func Sweep(g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {
 						return
 					}
-					out[i], errs[i] = Run(g, jobs[i].Cfg, jobs[i].Order, jobs[i].Owner)
+					out[i], errs[i] = RunCtx(ctx, g, jobs[i].Cfg, jobs[i].Order, jobs[i].Owner)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The error reported is the one the lowest-indexed failing job produced,
+	// matching a serial run.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

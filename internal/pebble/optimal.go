@@ -1,6 +1,7 @@
 package pebble
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -65,6 +66,20 @@ func (q *stateQueue) pop() (gameState, int, bool) {
 // more than 64 vertices are rejected with ErrTooLarge, and searches that
 // exceed opts.MaxStates settled states fail with ErrSearchBudget.
 func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int, error) {
+	// context.Background() is never cancelled, so OptimalIOCtx degenerates to
+	// the historical behavior.
+	return OptimalIOCtx(context.Background(), g, variant, s, opts)
+}
+
+// OptimalIOCtx is OptimalIO under a context: the state-space search checks
+// ctx every 1024 settled states (individual state expansions stay atomic) and
+// returns ctx.Err() promptly once the context is cancelled.  Under a
+// never-cancelled context the search — settle order, cost, error — is
+// bit-identical to OptimalIO.
+func OptimalIOCtx(ctx context.Context, g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := g.NumVertices()
 	if n > 64 {
 		return 0, fmt.Errorf("%w: %d vertices (max 64)", ErrTooLarge, n)
@@ -127,6 +142,11 @@ func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int,
 		settled++
 		if settled > maxStates {
 			return 0, fmt.Errorf("%w: settled %d states", ErrSearchBudget, settled)
+		}
+		if settled&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 		}
 
 		relax := func(next gameState, c int) {

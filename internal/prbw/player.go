@@ -1,6 +1,7 @@
 package prbw
 
 import (
+	"context"
 	"fmt"
 
 	"cdagio/internal/cdag"
@@ -179,6 +180,19 @@ type player struct {
 // ID) — but chooses each victim in O(log capacity) instead of scanning the
 // unit, and performs no per-step allocations.
 func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
+	// context.Background() is never cancelled, so PlayCtx degenerates to the
+	// historical behavior.
+	return PlayCtx(context.Background(), g, topo, asg)
+}
+
+// PlayCtx is Play under a context: the schedule loop checks ctx every 4096
+// compute steps (individual game moves stay atomic) and returns ctx.Err()
+// promptly once the context is cancelled.  Under a never-cancelled context
+// the game — every move, every statistic — is bit-identical to Play.
+func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,6 +243,11 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 
 	// Execute the schedule.
 	for i, v := range asg.Order {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pl.pos = i
 		proc := asg.Proc[i]
 		// One row slice serves every predecessor pass of this step.

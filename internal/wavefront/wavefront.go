@@ -9,6 +9,7 @@
 package wavefront
 
 import (
+	"context"
 	"fmt"
 
 	"cdagio/internal/cdag"
@@ -119,6 +120,16 @@ type WMaxOptions = graphalg.WMaxOptions
 // all-candidates scan, independent of worker count.
 func WMaxOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
 	return graphalg.MaxMinWavefrontLowerBoundOpts(g, candidates, opts)
+}
+
+// WMaxCtx is WMaxOpts under a context: the candidate scan checks ctx at its
+// pruning-tier boundaries and returns ctx.Err() promptly once the context is
+// cancelled (individual Dinic solves stay atomic).  Under a never-cancelled
+// context the result is bit-identical to WMaxOpts at every worker count.
+// opts.Pool, when set, supplies the per-worker cut solvers — this is how a
+// Workspace routes repeated searches through its own solver cache.
+func WMaxCtx(ctx context.Context, g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID, error) {
+	return graphalg.MaxMinWavefrontLowerBoundCtx(ctx, g, candidates, opts)
 }
 
 // Lemma2Bound returns the I/O lower bound of Lemma 2: 2·(wmax − S), never
