@@ -29,6 +29,15 @@ type Options struct {
 	// Concurrency bounds the worker pool of the min-cut wavefront search
 	// (≤ 0 selects GOMAXPROCS).
 	Concurrency int
+	// DisableTwoPhase turns off the wavefront search's two-phase incumbent
+	// seeding (solving a degree-ranked seed sample before the broad candidate
+	// scan).  Purely a performance toggle: the bound and witness are
+	// identical either way.
+	DisableTwoPhase bool
+	// SeedSample overrides the size of the two-phase seed sample (0 selects
+	// 32, negative disables the sample so only engine-internal selection
+	// applies).  Ignored when DisableTwoPhase is set.
+	SeedSample int
 	// ExactPartitionLimit is the largest operation count for which the exact
 	// U(2S) search (and with it the Corollary 1 bound) runs.  Zero selects 20.
 	ExactPartitionLimit int

@@ -116,6 +116,17 @@ func (w *Workspace) WMax(ctx context.Context, candidates []cdag.VertexID, opts w
 		candidates = w.vertices()
 	}
 	opts.Pool = w.pool
+	// Hand the engine's two-phase pass the workspace's memoized degree-ranked
+	// sample as its seed set, so repeated analyses never re-rank the vertices.
+	// The engine drops seeds outside the candidate list, so this is safe for
+	// candidate subsets too.
+	if !opts.DisablePruning && !opts.DisableTwoPhase && opts.Seeds == nil && opts.SeedSample >= 0 {
+		k := opts.SeedSample
+		if k == 0 {
+			k = defaultCandidates
+		}
+		opts.Seeds = w.candidates(k)
+	}
 	return wavefront.WMaxCtx(ctx, w.g, candidates, opts)
 }
 
@@ -217,7 +228,11 @@ func (w *Workspace) Analyze(ctx context.Context, opts Options) (*Analysis, error
 		candidateSet = w.candidates(candidates)
 	}
 	var err error
-	a.WMax, a.WMaxAt, err = w.WMax(ctx, candidateSet, wavefront.WMaxOptions{Concurrency: opts.Concurrency})
+	a.WMax, a.WMaxAt, err = w.WMax(ctx, candidateSet, wavefront.WMaxOptions{
+		Concurrency:     opts.Concurrency,
+		DisableTwoPhase: opts.DisableTwoPhase,
+		SeedSample:      opts.SeedSample,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -49,4 +49,51 @@
 // slice-of-slices networks, which survive as the reference implementations
 // (MinWavefrontLowerBound, MaxMinWavefrontLowerBoundSerial) that the
 // equivalence tests compare against.
+//
+// # Incremental flow across candidates: warm starts
+//
+// Consecutive candidates of the w^max scan induce overlapping strip networks,
+// and the search exploits that without giving up exactness.  Every
+// materialized vertex of a strip network carries a unit split arc, so a
+// maximum (indeed any feasible integral) flow decomposes into unit paths that
+// are fully vertex-disjoint in graph space, each running from a boundary
+// vertex of A through free strip vertices to a vertex feeding D.  After each
+// solve the engine harvests that decomposition as plain vertex sequences
+// (harvestPaths); before the next candidate's solve it re-seeds each path
+// into the freshly built network (seedPath):
+//
+//   - A is predecessor-closed for the new candidate too, so a path's vertices
+//     that lie in the new A form a prefix.  The segment from the last prefix
+//     vertex b — seedable only if b is a materialized boundary vertex — to
+//     the vertex before the path first enters the new D (or to its end, when
+//     that end feeds D directly) is an s→t unit path of the new network.
+//   - Vertex-disjointness of the harvested paths carries over to the trimmed
+//     segments, so seeding them can never oversubscribe an arc: the seeded
+//     flow is feasible by construction.
+//   - Exactness needs nothing more: Dinic started from any feasible flow
+//     still terminates at the maximum flow value (augmenting paths exist
+//     until the max is reached, regardless of the starting flow).  And the
+//     canonical cut read back from the residual graph (lastStripCut) is the
+//     minimal source side shared by all minimum cuts — the residual-reachable
+//     set of ANY maximum flow — so even the cut set is independent of the
+//     warm start, which the warm/cold equivalence tests assert literally.
+//
+// # Incremental flow within a candidate: the level-cut abort
+//
+// Under the packed-maximum search, a candidate only matters if its bound
+// reaches a threshold ("need") derived from the incumbent.  maxFlowBounded
+// turns each Dinic BFS into an upper-bound certificate that can prove the
+// threshold unreachable mid-solve: after a BFS from s that reaches t at level
+// L, every residual arc leaving the set P_k = {v : level(v) ≤ k} (k < L) ends
+// at level ≤ k+1, so the residual arcs crossing from level k to level k+1 are
+// a complete s–t cut of the residual network.  The residual max-flow is
+// therefore at most min over k < L of the crossing capacity (reverse arcs
+// included uniformly — they are residual arcs like any other, and the sums
+// saturate at flowInf so infinite-capacity crossings never overflow), and the
+// final value is at most flow-so-far + that minimum.  When the bound falls
+// below need the solve stops and reports an abort; the candidate provably
+// cannot affect the scan's packed maximum, so skipping it is exact.  When no
+// level cut proves that, the solve runs to completion and the value returned
+// is the true maximum — the certificate only ever converts "cannot win" into
+// an early exit.
 package graphalg

@@ -73,6 +73,10 @@ type flowCSR struct {
 	trackDirty bool
 	dirty      []int32
 	cap0       []int64
+
+	// Per-BFS-level residual capacity sums, the scratch of the level-cut
+	// upper-bound certificate of maxFlowBounded.
+	cutSums []int64
 }
 
 const flowInf = int64(1) << 60
@@ -231,6 +235,107 @@ func (f *flowCSR) maxFlow(s, t int32) int64 {
 		if !reachedT {
 			return total
 		}
+		total += f.blockingFlow(s, t, e)
+	}
+}
+
+// maxFlowBounded is maxFlow with a mid-solve abort: when lim > 0, each BFS
+// phase additionally evaluates a residual level-cut certificate, and the solve
+// stops as soon as the certificate proves the final max flow must stay below
+// lim.  It returns (flow, false) with the exact max flow when no certificate
+// fired — bit-identical to maxFlow, since the certificate pass only reads the
+// network — or (ub, true) where ub is a proven upper bound on the max flow
+// with ub < lim.
+//
+// The certificate: after a BFS from s assigns levels, every residual arc
+// (cap > 0) out of a reached node leads to a reached node at most one level
+// deeper.  For any k with 0 ≤ k < level(t), the prefix P_k = {v : level(v) ≤ k}
+// contains s, excludes t, and the only residual arcs leaving it run from level
+// k to level k+1 — an arc u→v with cap > 0 and level(v) ≤ level(u) stays
+// inside or re-enters the prefix, and an arc into an unreached v would have
+// made v reached.  Each P_k is therefore a valid s–t cut of the residual
+// network, so the flow still to come is at most min_k Σ cap(k→k+1 arcs), and
+// the final max flow is at most the flow already sent plus that minimum.
+// Reverse arcs need no special accounting: a reverse arc holding residual
+// capacity (undoing flow on its partner) is an ordinary capacity-bearing arc
+// of the residual network and is summed like any other when it crosses a
+// level; the bound stays exact because the cut argument only relies on every
+// s→t residual path crossing each prefix once.  Sums saturate at flowInf (the
+// infinite arcs of the vertex-split networks would otherwise overflow).
+func (f *flowCSR) maxFlowBounded(s, t int32, lim int64) (int64, bool) {
+	if s == t {
+		return flowInf, false
+	}
+	var total int64
+	for {
+		e := f.bumpEpoch()
+		f.levelEp[s] = e
+		f.level[s] = 0
+		q := f.queue[:0]
+		q = append(q, s)
+		reachedT := false
+		for qi := 0; qi < len(q); qi++ {
+			u := q[qi]
+			lu := f.level[u] + 1
+			base := f.adjOff[u]
+			for _, ai := range f.adjArc[base : base+f.adjLen[u]] {
+				v := f.to[ai]
+				if f.cap[ai] > 0 && f.levelEp[v] != e {
+					f.levelEp[v] = e
+					f.level[v] = lu
+					if v == t {
+						reachedT = true
+					}
+					q = append(q, v)
+				}
+			}
+		}
+		if !reachedT {
+			f.queue = q[:0]
+			return total, false
+		}
+		if lim > 0 {
+			lt := int(f.level[t])
+			sums := f.cutSums
+			if cap(sums) < lt {
+				sums = make([]int64, lt)
+			} else {
+				sums = sums[:lt]
+			}
+			for k := range sums {
+				sums[k] = 0
+			}
+			for _, u := range q {
+				lu := f.level[u]
+				if int(lu) >= lt {
+					continue
+				}
+				base := f.adjOff[u]
+				for _, ai := range f.adjArc[base : base+f.adjLen[u]] {
+					if f.cap[ai] <= 0 {
+						continue
+					}
+					v := f.to[ai]
+					if f.levelEp[v] == e && f.level[v] == lu+1 {
+						if sums[lu] += f.cap[ai]; sums[lu] > flowInf {
+							sums[lu] = flowInf
+						}
+					}
+				}
+			}
+			rem := flowInf
+			for _, sum := range sums {
+				if sum < rem {
+					rem = sum
+				}
+			}
+			f.cutSums = sums
+			if total+rem < lim {
+				f.queue = q[:0]
+				return total + rem, true
+			}
+		}
+		f.queue = q[:0]
 		total += f.blockingFlow(s, t, e)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,7 +11,8 @@ import (
 )
 
 // WMaxOptions configures the w^max candidate search of
-// MaxMinWavefrontLowerBoundOpts.
+// MaxMinWavefrontLowerBoundOpts.  Every knob is a performance toggle only:
+// bound value and witness vertex are identical in every combination.
 type WMaxOptions struct {
 	// Concurrency is the number of worker goroutines scanning candidates.
 	// Zero or negative selects runtime.GOMAXPROCS(0).
@@ -21,7 +21,8 @@ type WMaxOptions struct {
 	// candidates which cannot beat the best bound found so far.  Pruning
 	// never changes the result — bound value and witness vertex are identical
 	// in every mode — so disabling it is only useful for benchmarking the
-	// unpruned search.
+	// unpruned search.  It also turns off the two-phase seeding pass and the
+	// mid-solve abort, which exist to feed and exploit the pruning tiers.
 	DisablePruning bool
 	// Pool supplies the per-worker CutSolvers.  Workers of a search draw
 	// their solver from it and return it afterwards, so searches sharing a
@@ -30,6 +31,30 @@ type WMaxOptions struct {
 	// the search, matching the historical behavior.  The pool, when set, must
 	// be bound to the searched graph.
 	Pool *SolverPool
+	// DisableTwoPhase turns off the two-phase incumbent seeding pass: by
+	// default a small degree-ranked sample of the candidates (Seeds, or the
+	// engine's own top-SeedSample selection) is solved exactly before the
+	// main scan, so the best-so-far starts at (or near) the final maximum and
+	// the pruning tiers kill the tail before any further flow is pushed.
+	DisableTwoPhase bool
+	// SeedSample is the size of the degree-ranked seed sample the two-phase
+	// pass selects when Seeds is nil.  Zero selects the default (32);
+	// negative disables the internal selection (then only explicit Seeds are
+	// used).
+	SeedSample int
+	// Seeds supplies the seed vertices of the two-phase pass explicitly — a
+	// Workspace passes its memoized wavefront.TopCandidates sample here.
+	// Seeds that do not occur in the candidate list are ignored.
+	Seeds []cdag.VertexID
+	// DisableWarmStart turns off flow reuse across consecutive candidates of
+	// a worker: by default each solved candidate's flow paths are harvested
+	// and re-seeded — trimmed to the new cones — into the next candidate's
+	// network, so Dinic augments from a feasible flow instead of from zero.
+	DisableWarmStart bool
+	// DisableAbort turns off the mid-solve level-cut abort: by default a
+	// Dinic solve stops as soon as a BFS level cut proves the candidate
+	// cannot beat the incumbent.
+	DisableAbort bool
 }
 
 // packEntry encodes a (bound, candidate index) pair into one int64 so the
@@ -49,6 +74,131 @@ func packEntry(bound int, idx int) int64 {
 func unpackEntry(e int64) (bound int, idx int) {
 	return int(e >> 32), int(math.MaxInt32 - int32(e&0xffffffff))
 }
+
+// needAgainst returns the smallest bound value candidate index i must attain
+// to matter against the packed best entry: packEntry(v, i) >= best exactly
+// when v >= needAgainst(best, i).  A candidate earlier than the incumbent
+// witness survives a tie (it would steal the witness), a later one must
+// strictly beat the bound.  Any solve whose value provably falls below this
+// threshold can be aborted without affecting the packed maximum.
+func needAgainst(best int64, i int) int {
+	bound, idx := unpackEntry(best)
+	if i <= idx {
+		return bound
+	}
+	return bound + 1
+}
+
+// sortByBoundDesc permutes order into decreasing ub, ties by increasing
+// candidate index — the exact order sort.Slice produced historically, built
+// by a two-pass counting sort instead: bucket offsets laid out from the
+// largest bound down, then a stable ascending-index scatter.  Schedule
+// wavefront sizes are bounded by the vertex count, so this is O(n) where the
+// comparison sort's O(n log n) was the dominant setup cost of million-vertex
+// scans.
+func sortByBoundDesc(order []int, ub []int32) {
+	maxUB := int32(0)
+	for _, u := range ub {
+		if u > maxUB {
+			maxUB = u
+		}
+	}
+	offs := make([]int32, maxUB+1)
+	for _, u := range ub {
+		offs[u]++
+	}
+	pos := int32(0)
+	for u := maxUB; u >= 0; u-- {
+		c := offs[u]
+		offs[u] = pos
+		pos += c
+	}
+	for i, u := range ub {
+		order[offs[u]] = i
+		offs[u]++
+	}
+}
+
+// seedIndices resolves the two-phase pass's seed set to candidate indices.
+// Explicit Seeds win; vertices that do not occur in the candidate list are
+// dropped, repeats keep their first occurrence, and — matching the scan's
+// witness rule — a vertex appearing multiple times among the candidates maps
+// to its earliest index.  Without explicit Seeds a degree-ranked top-k sample
+// (k = SeedSample, default 32) is selected, mirroring wavefront.TopCandidates.
+func seedIndices(g *cdag.Graph, candidates []cdag.VertexID, fullRange bool, opts WMaxOptions) []int {
+	nc := len(candidates)
+	if opts.Seeds != nil {
+		var idxOf map[cdag.VertexID]int
+		if !fullRange {
+			idxOf = make(map[cdag.VertexID]int, nc)
+			for i := nc - 1; i >= 0; i-- {
+				idxOf[candidates[i]] = i
+			}
+		}
+		seen := make(map[int]bool, len(opts.Seeds))
+		idxs := make([]int, 0, len(opts.Seeds))
+		for _, v := range opts.Seeds {
+			i := -1
+			if fullRange {
+				// candidates is g.Vertices(): candidate index == vertex id.
+				if int(v) < nc {
+					i = int(v)
+				}
+			} else if j, ok := idxOf[v]; ok {
+				i = j
+			}
+			if i >= 0 && !seen[i] {
+				seen[i] = true
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+	k := opts.SeedSample
+	if k == 0 {
+		k = defaultSeedSample
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k > nc {
+		k = nc
+	}
+	// Bounded insertion sort keeps the k candidates of largest in+out degree,
+	// ties by smaller candidate index — the same ranking TopCandidates uses.
+	sOff, _, pOff, _ := g.AdjacencyCSR()
+	type seed struct {
+		deg int64
+		idx int
+	}
+	seeds := make([]seed, 0, k)
+	for i, x := range candidates {
+		d := (sOff[x+1] - sOff[x]) + (pOff[x+1] - pOff[x])
+		if len(seeds) == k && d <= seeds[len(seeds)-1].deg {
+			continue
+		}
+		pos := len(seeds)
+		if pos < k {
+			seeds = append(seeds, seed{})
+		} else {
+			pos--
+		}
+		for pos > 0 && seeds[pos-1].deg < d {
+			seeds[pos] = seeds[pos-1]
+			pos--
+		}
+		seeds[pos] = seed{d, i}
+	}
+	idxs := make([]int, len(seeds))
+	for j, s := range seeds {
+		idxs[j] = s.idx
+	}
+	return idxs
+}
+
+// defaultSeedSample is the seed-sample size of the two-phase pass when the
+// caller sets neither Seeds nor SeedSample.
+const defaultSeedSample = 32
 
 // MaxMinWavefrontLowerBoundOpts is the engine behind
 // MaxMinWavefrontLowerBound: a parallel search over the candidate vertices
@@ -94,6 +244,7 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 	if opts.Pool != nil && opts.Pool.g != g {
 		opts.Pool = nil
 	}
+	fullRange := candidates == nil
 	if candidates == nil {
 		candidates = g.Vertices()
 	}
@@ -126,12 +277,7 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 	var ub []int32
 	if !opts.DisablePruning {
 		ub = scheduleWavefrontUB(g, candidates)
-		sort.Slice(order, func(a, b int) bool {
-			if ub[order[a]] != ub[order[b]] {
-				return ub[order[a]] > ub[order[b]]
-			}
-			return order[a] < order[b]
-		})
+		sortByBoundDesc(order, ub)
 		anchorSeeds(g, candidates, order)
 	}
 
@@ -152,8 +298,16 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 			}
 		}
 	}
-	parallelFor(ctx, opts.Pool, g, workers, nc, func(cs *CutSolver, k int) {
-		i := order[k]
+	warm := !opts.DisableWarmStart
+	abort := ub != nil && !opts.DisableAbort
+	// scan runs the tiered treatment of candidate index i: precomputed bound,
+	// then the descendant-side convex bound (with early exit at the survival
+	// threshold), then the ancestor-side bound, then an exact strip-local
+	// min-cut solve — warm-started from the worker's previous solve and
+	// abortable by level-cut certificate once it provably cannot beat the
+	// incumbent.  Every tier is exact (see the package comment), so the packed
+	// maximum is independent of phase split, worker count and timing.
+	scan := func(cs *CutSolver, i int) {
 		x := candidates[i]
 		if ub != nil && packEntry(int(ub[i]), i) < best.Load() {
 			return
@@ -165,7 +319,8 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 			return
 		}
 		if ub != nil {
-			if packEntry(cs.lateBound(), i) < best.Load() {
+			need := needAgainst(best.Load(), i)
+			if cs.lateBound(need) < need {
 				return
 			}
 			// Tier boundary: the descendant cone is explored, the ancestor
@@ -181,7 +336,47 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 		} else {
 			cs.exploreAnc(x)
 		}
-		record(cs.minWavefront(x), i)
+		need := 0
+		if abort {
+			need = needAgainst(best.Load(), i)
+		}
+		w, pruned := cs.minWavefrontRun(x, need, warm)
+		if !pruned {
+			record(w, i)
+		}
+	}
+
+	// Phase 1 — incumbent seeding: solve a small degree-ranked sample of the
+	// candidates to completion before the broad scan, so the best-so-far
+	// starts at (or near) the final maximum and tier 1 kills the tail of the
+	// upper-bound-sorted order without any cone exploration.  Seeds record
+	// their exact bound at their true candidate index and are skipped by the
+	// main scan, so the phase split cannot change the result.
+	var isSeeded []bool
+	if ub != nil && !opts.DisableTwoPhase {
+		seedIdx := seedIndices(g, candidates, fullRange, opts)
+		if len(seedIdx) > 0 && len(seedIdx) < nc {
+			isSeeded = make([]bool, nc)
+			for _, i := range seedIdx {
+				isSeeded[i] = true
+			}
+			sw := workers
+			if sw > len(seedIdx) {
+				sw = len(seedIdx)
+			}
+			parallelFor(ctx, opts.Pool, g, sw, len(seedIdx), func(cs *CutSolver, k int) {
+				scan(cs, seedIdx[k])
+			})
+		}
+	}
+
+	// Phase 2 — the full candidate scan in decreasing upper-bound order.
+	parallelFor(ctx, opts.Pool, g, workers, nc, func(cs *CutSolver, k int) {
+		i := order[k]
+		if isSeeded != nil && isSeeded[i] {
+			return
+		}
+		scan(cs, i)
 	})
 	if err := ctx.Err(); err != nil {
 		return 0, cdag.InvalidVertex, err
@@ -254,15 +449,29 @@ func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, 
 // descendant — so the value needs no explicit max with 1.  It only requires
 // the descendant cone (exploreDesc), which is what lets the search prune on
 // it before paying for the ancestor cone.
-func (cs *CutSolver) lateBound() int {
+//
+// The count stops at limit: the caller prunes on lateBound(need) < need, and
+// once the running count reaches need the candidate survives this tier no
+// matter how much larger the true boundary is, so the rest of the — often
+// enormous — descendant cone is never walked.  Pass math.MaxInt for the full
+// boundary size.  Early exit leaves seenMark partially stamped for the
+// current epoch; no later consumer reads seenMark within an epoch, so this is
+// safe.
+func (cs *CutSolver) lateBound(limit int) int {
 	e := cs.epoch
 	pOff, pVal := cs.predOff, cs.predVal
 	late := 0
+	if limit <= 0 {
+		return 0
+	}
 	for _, d := range cs.desc {
 		for _, p := range pVal[pOff[d]:pOff[d+1]] {
 			if cs.descMark[p] != e && cs.seenMark[p] != e {
 				cs.seenMark[p] = e
 				late++
+				if late >= limit {
+					return late
+				}
 			}
 		}
 	}
@@ -307,7 +516,7 @@ func (cs *CutSolver) upperBound(x cdag.VertexID) int {
 		return 1
 	}
 	best := cs.earlyBound(x)
-	if late := cs.lateBound(); late < best {
+	if late := cs.lateBound(math.MaxInt); late < best {
 		best = late
 	}
 	if best < 1 {

@@ -1,0 +1,239 @@
+package graphalg
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/gen"
+)
+
+// sortedCut copies and sorts a cut set for order-insensitive comparison.
+func sortedCut(cut []cdag.VertexID) []cdag.VertexID {
+	out := append([]cdag.VertexID(nil), cut...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestWarmColdCutEquivalence drives a warm-started solver and a cold solver
+// through identical random candidate sequences on every generator family and
+// checks, candidate by candidate, that the bound values AND the canonical
+// minimum cut sets agree exactly.  The cut-set comparison is the strong form
+// of the warm-start exactness claim: the residual-reachable source side of a
+// maximum flow is the minimal min-cut source side shared by every maximum
+// flow, so it must not depend on the feasible flow Dinic started from.
+func TestWarmColdCutEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for name, g := range generatorGraphs(t) {
+		warm := NewCutSolver()
+		warm.ensureGraph(g)
+		cold := NewCutSolver()
+		cold.ensureGraph(g)
+		verts := g.Vertices()
+		var wCut, cCut []cdag.VertexID
+		for step := 0; step < 48; step++ {
+			x := verts[rng.Intn(len(verts))]
+			warm.explore(x)
+			wv, wAborted := warm.minWavefrontRun(x, 0, true)
+			cold.explore(x)
+			cv, cAborted := cold.minWavefrontRun(x, 0, false)
+			if wAborted || cAborted {
+				t.Fatalf("%s step %d vertex %d: unbounded solve reported an abort", name, step, x)
+			}
+			if wv != cv {
+				t.Fatalf("%s step %d vertex %d: warm bound %d, cold bound %d", name, step, x, wv, cv)
+			}
+			if len(warm.desc) == 0 {
+				continue // no network was built; there is no cut to compare
+			}
+			wCut = warm.lastStripCut(wCut)
+			cCut = cold.lastStripCut(cCut)
+			ws, cs := sortedCut(wCut), sortedCut(cCut)
+			if len(ws) != len(cs) {
+				t.Fatalf("%s step %d vertex %d: warm cut size %d, cold cut size %d", name, step, x, len(ws), len(cs))
+			}
+			for i := range ws {
+				if ws[i] != cs[i] {
+					t.Fatalf("%s step %d vertex %d: warm cut %v, cold cut %v", name, step, x, ws, cs)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmColdCutEquivalenceRandomDAGs is the randomized-topology counterpart
+// of TestWarmColdCutEquivalence: seeded random DAGs, every vertex visited in a
+// shuffled order so consecutive warm starts cross between unrelated cones.
+func TestWarmColdCutEquivalenceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(50)
+		g := randomDAG(rng, n, 2*n)
+		warm := NewCutSolver()
+		warm.ensureGraph(g)
+		cold := NewCutSolver()
+		cold.ensureGraph(g)
+		order := g.Vertices()
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var wCut, cCut []cdag.VertexID
+		for _, x := range order {
+			warm.explore(x)
+			wv, _ := warm.minWavefrontRun(x, 0, true)
+			cold.explore(x)
+			cv, _ := cold.minWavefrontRun(x, 0, false)
+			if wv != cv {
+				t.Fatalf("trial %d vertex %d: warm bound %d, cold bound %d", trial, x, wv, cv)
+			}
+			if len(warm.desc) == 0 {
+				continue
+			}
+			wCut = warm.lastStripCut(wCut)
+			cCut = cold.lastStripCut(cCut)
+			ws, cs := sortedCut(wCut), sortedCut(cCut)
+			if len(ws) != len(cs) {
+				t.Fatalf("trial %d vertex %d: warm cut %v, cold cut %v", trial, x, ws, cs)
+			}
+			for i := range ws {
+				if ws[i] != cs[i] {
+					t.Fatalf("trial %d vertex %d: warm cut %v, cold cut %v", trial, x, ws, cs)
+				}
+			}
+		}
+	}
+}
+
+// TestAbortCertificateSound checks the level-cut abort against ground truth on
+// every generator family: a solve bounded by need may only abort when the true
+// wavefront is provably below need, and when it does not abort it must return
+// the exact value.  need sweeps below, at, and above the true value, with and
+// without warm-started initial flow (an abort's lim accounts for seeded units).
+func TestAbortCertificateSound(t *testing.T) {
+	for name, g := range generatorGraphs(t) {
+		cs := NewCutSolver()
+		cs.ensureGraph(g)
+		for _, x := range g.Vertices() {
+			cs.explore(x)
+			want, _ := cs.minWavefrontRun(x, 0, false)
+			for _, warm := range []bool{false, true} {
+				for _, need := range []int{1, want - 1, want, want + 1, want + 5} {
+					if need <= 0 {
+						continue
+					}
+					cs.explore(x)
+					got, aborted := cs.minWavefrontRun(x, need, warm)
+					if aborted {
+						if want >= need {
+							t.Fatalf("%s vertex %d (need=%d warm=%v): aborted but true bound is %d",
+								name, x, need, warm, want)
+						}
+						continue
+					}
+					if got != want {
+						t.Fatalf("%s vertex %d (need=%d warm=%v): bound %d, want %d",
+							name, x, need, warm, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalModesMatchSerial extends the serial-equivalence matrix to the
+// PR-6 toggles: every combination of two-phase seeding, warm start and
+// mid-solve abort — at one and at four workers — must reproduce the serial
+// all-candidates bound and witness bit-for-bit on every generator family.
+func TestIncrementalModesMatchSerial(t *testing.T) {
+	for name, g := range generatorGraphs(t) {
+		wantW, wantV := MaxMinWavefrontLowerBoundSerial(g, nil)
+		for _, conc := range []int{1, 4} {
+			for mode := 0; mode < 8; mode++ {
+				opts := WMaxOptions{
+					Concurrency:      conc,
+					DisableTwoPhase:  mode&1 != 0,
+					DisableWarmStart: mode&2 != 0,
+					DisableAbort:     mode&4 != 0,
+				}
+				gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, nil, opts)
+				if gotW != wantW || gotV != wantV {
+					t.Errorf("%s (conc=%d mode=%03b): (bound, witness) = (%d, %d), serial (%d, %d)",
+						name, conc, mode, gotW, gotV, wantW, wantV)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoPhaseSeedVariants checks the seeding controls: explicit Seeds
+// (including repeats, vertices outside the candidate subset, and seeds
+// covering every candidate), SeedSample overrides, and the disabled-sample
+// setting all leave bound and witness identical to the serial scan.
+func TestTwoPhaseSeedVariants(t *testing.T) {
+	g := gen.Jacobi(2, 8, 3, gen.StencilBox).Graph
+	all := g.Vertices()
+	wantW, wantV := MaxMinWavefrontLowerBoundSerial(g, nil)
+	seedSets := [][]cdag.VertexID{
+		nil,
+		{},
+		{all[0], all[0], all[len(all)-1]},
+		all[:40],
+		all, // every candidate seeded: phase 2 must be skipped, not emptied
+	}
+	for i, seeds := range seedSets {
+		gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, nil, WMaxOptions{Concurrency: 2, Seeds: seeds})
+		if gotW != wantW || gotV != wantV {
+			t.Errorf("seed set %d: (bound, witness) = (%d, %d), serial (%d, %d)", i, gotW, gotV, wantW, wantV)
+		}
+	}
+	for _, sample := range []int{-1, 1, 5, len(all) + 10} {
+		gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, nil, WMaxOptions{Concurrency: 2, SeedSample: sample})
+		if gotW != wantW || gotV != wantV {
+			t.Errorf("sample %d: (bound, witness) = (%d, %d), serial (%d, %d)", sample, gotW, gotV, wantW, wantV)
+		}
+	}
+	// Candidate subset: explicit seeds outside the subset must be ignored.
+	sub := all[len(all)/3 : 2*len(all)/3]
+	wantW, wantV = MaxMinWavefrontLowerBoundSerial(g, sub)
+	gotW, gotV := MaxMinWavefrontLowerBoundOpts(g, sub, WMaxOptions{Concurrency: 2, Seeds: []cdag.VertexID{all[0], sub[3], sub[0]}})
+	if gotW != wantW || gotV != wantV {
+		t.Errorf("subset with external seeds: (bound, witness) = (%d, %d), serial (%d, %d)", gotW, gotV, wantW, wantV)
+	}
+}
+
+// TestCancelMidScanLarge cancels a full-candidate scan partway through on a
+// large stencil CDAG and checks that the scan surfaces ctx.Err() promptly —
+// the warm-start and abort machinery must not extend cancellation latency
+// beyond the documented bound (workers × one candidate).  Short mode trims
+// the instance so the race-enabled CI job exercises the same path cheaply.
+func TestCancelMidScanLarge(t *testing.T) {
+	n := 512 // 2·512² ≈ 1M vertices: the full-scale scan of the 1M benchmark
+	delay := 300 * time.Millisecond
+	if testing.Short() {
+		n = 96
+		delay = 20 * time.Millisecond
+	}
+	g := gen.Jacobi(2, n, 3, gen.StencilBox).Graph
+	g.Materialize()
+	ctx, cancel := context.WithTimeout(context.Background(), delay)
+	defer cancel()
+	start := time.Now()
+	_, _, err := MaxMinWavefrontLowerBoundCtx(ctx, g, nil, WMaxOptions{Concurrency: 4})
+	if err == nil {
+		// The scan finished before the deadline; that is legal (and means the
+		// machine is fast), but the test then says nothing — rerun tighter.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		if _, _, err2 := MaxMinWavefrontLowerBoundCtx(ctx2, g, nil, WMaxOptions{Concurrency: 4}); err2 == nil {
+			t.Fatal("scan under a cancelled context returned no error")
+		}
+		return
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("scan returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > delay+5*time.Second {
+		t.Fatalf("cancellation took %v after a %v deadline", elapsed, delay)
+	}
+}

@@ -159,6 +159,18 @@ type player struct {
 	// It is the per-vertex predicate the eviction heaps order by, refreshed
 	// incrementally after every game move that can flip it.
 	dead []bool
+	// heapDead[v] is the deadness the eviction heaps are currently ordered
+	// by.  Truth (dead) and heap view (heapDead) may diverge between game
+	// moves: refreshDead only records flipped vertices in pending, and
+	// flushPending re-sifts them — one vertex at a time, so each Fix repairs
+	// a single stale key — right before the next victim choice, the only
+	// point where heap order is consulted.  Batching the fix-ups this way
+	// collapses the repeated flip/unflip churn of multi-eviction steps into
+	// at most one Fix per vertex per victim choice without changing any
+	// chosen victim: every PeekMin/PopMin still runs with heapDead == dead.
+	heapDead    []bool
+	pending     []cdag.VertexID
+	pendingMark []bool
 
 	units    []evictHeap // per storage unit, indexed unitBase[level-1]+unit
 	unitBase []int
@@ -224,10 +236,13 @@ func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) 
 	}
 	pl.noMoreUses = make([]bool, n)
 	pl.dead = make([]bool, n)
+	pl.heapDead = make([]bool, n)
+	pl.pendingMark = make([]bool, n)
 	for v := 0; v < n; v++ {
 		id := cdag.VertexID(v)
 		pl.noMoreUses[v] = pl.lastUseAt[v] < 0
 		pl.dead[v] = pl.computeDead(id)
+		pl.heapDead[v] = pl.dead[v]
 	}
 	total := 0
 	pl.unitBase = make([]int, topo.NumLevels())
@@ -309,11 +324,11 @@ func (pl *player) unit(at Loc) *evictHeap {
 }
 
 func (pl *player) touch(at Loc, v cdag.VertexID) {
-	pl.unit(at).Update(v, pl.clock, pl.dead)
+	pl.unit(at).Update(v, pl.clock, pl.heapDead)
 }
 
 func (pl *player) untouch(at Loc, v cdag.VertexID) {
-	pl.unit(at).Remove(v, pl.dead)
+	pl.unit(at).Remove(v, pl.heapDead)
 }
 
 // computeDead evaluates the eviction-deadness predicate from the game state:
@@ -330,20 +345,50 @@ func (pl *player) computeDead(v cdag.VertexID) bool {
 	return pl.noMoreUses[v] && !pl.g.IsOutput(v)
 }
 
-// refreshDead re-evaluates the deadness of v and, when it flipped, re-sifts
-// v's entry in every unit currently holding it so the eviction heaps keep
-// their order.  It must be called after every move that can change the
-// predicate: pebble placements and deletions (copy count), blue placements,
-// and last-use transitions.
+// refreshDead re-evaluates the deadness of v and, when it flipped, updates
+// the truth array and queues v for a deferred heap fix-up.  It must be called
+// after every move that can change the predicate: pebble placements and
+// deletions (copy count), blue placements, and last-use transitions.  The
+// heaps themselves are repaired lazily by flushPending, so a vertex whose
+// deadness flips several times between victim choices (evict chains touch a
+// value at every level) costs one queue entry instead of a heap sift per
+// flip — and none at all when the flips cancel out.
 func (pl *player) refreshDead(v cdag.VertexID) {
 	d := pl.computeDead(v)
 	if d == pl.dead[v] {
 		return
 	}
 	pl.dead[v] = d
-	for _, loc := range pl.game.Locations(v) {
-		pl.unit(loc).Fix(v, pl.dead)
+	if !pl.pendingMark[v] {
+		pl.pendingMark[v] = true
+		pl.pending = append(pl.pending, v)
 	}
+}
+
+// flushPending reconciles the heaps' deadness view with the truth array,
+// re-sifting each flipped vertex in every unit currently holding it.  Flips
+// are applied one vertex at a time — heapDead is written immediately before
+// the Fix calls for that vertex — so every Fix is a valid single-stale-key
+// heap repair and the heaps are exact w.r.t. heapDead throughout.  After the
+// flush heapDead equals dead, which is the invariant chooseVictim relies on:
+// the (dead, last touch, vertex id) comparator is a strict total order, so
+// with equal key arrays the heap minimum is unique and the chosen victims —
+// and with them the whole game — are bit-identical to eager fix-ups.
+func (pl *player) flushPending() {
+	if len(pl.pending) == 0 {
+		return
+	}
+	for _, v := range pl.pending {
+		pl.pendingMark[v] = false
+		if pl.heapDead[v] == pl.dead[v] {
+			continue // flipped an even number of times: nothing to repair
+		}
+		pl.heapDead[v] = pl.dead[v]
+		for _, loc := range pl.game.Locations(v) {
+			pl.unit(loc).Fix(v, pl.heapDead)
+		}
+	}
+	pl.pending = pl.pending[:0]
 }
 
 // dropIfDead deletes the pebble of v at the unit when its value no longer
@@ -383,6 +428,7 @@ func (pl *player) ensureCapacity(at Loc, pinned pinSet) error {
 // entry in heap order (pinned entries are popped into a small stash and
 // pushed back).
 func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
+	pl.flushPending()
 	h := pl.unit(at)
 	if v, ok := h.PeekMin(); ok && !pinned.has(v) {
 		return v, nil
@@ -391,7 +437,7 @@ func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
 	victim := cdag.InvalidVertex
 	var victimT int64
 	for h.Size() > 0 {
-		v, t := h.PopMin(pl.dead)
+		v, t := h.PopMin(pl.heapDead)
 		if pinned.has(v) {
 			stV = append(stV, v)
 			stT = append(stT, t)
@@ -401,10 +447,10 @@ func (pl *player) chooseVictim(at Loc, pinned pinSet) (cdag.VertexID, error) {
 		break
 	}
 	if victim != cdag.InvalidVertex {
-		h.Update(victim, victimT, pl.dead)
+		h.Update(victim, victimT, pl.heapDead)
 	}
 	for k := range stV {
-		h.Update(stV[k], stT[k], pl.dead)
+		h.Update(stV[k], stT[k], pl.heapDead)
 	}
 	pl.stashV, pl.stashT = stV, stT
 	if victim == cdag.InvalidVertex {

@@ -2,6 +2,7 @@ package prbw
 
 import (
 	"errors"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -62,6 +63,58 @@ func TestPlayMatchesReference(t *testing.T) {
 		}
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("%s: statistics diverge\nreference: %v\noptimized: %v", sc.name, want, got)
+		}
+	}
+}
+
+// TestPlayMatchesReferenceEvictionChurn pins the batched heap fix-ups (the
+// pending/flushPending path) against the eager reference player under heavy
+// eviction churn: tight capacities so nearly every step runs eviction chains
+// across several levels — the regime where a value's deadness flips several
+// times between victim choices and the deferred Fix batching actually
+// coalesces work.  Randomized processor assignments (seeded) widen the
+// coverage beyond the fixed scenario matrix; stats must stay bit-identical.
+func TestPlayMatchesReferenceEvictionChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1405))
+	graphs := map[string]*cdag.Graph{
+		"jacobi1d": gen.Jacobi(1, 24, 5, gen.StencilStar).Graph,
+		"matmul":   gen.MatMul(6).Graph,
+		"fft":      gen.FFT(16),
+		"cg":       gen.CG(1, 10, 2).Graph,
+	}
+	topos := []struct {
+		name string
+		topo Topology
+	}{
+		{"tight-two", TwoLevel(2, 6, 64)},
+		{"tight-dist", Distributed(2, 2, 6, 24, 1<<12)},
+	}
+	for gname, g := range graphs {
+		for _, tp := range topos {
+			procs := tp.topo.Units(1)
+			for trial := 0; trial < 3; trial++ {
+				asg := RoundRobin(g, procs, 0)
+				for i := range asg.Proc {
+					asg.Proc[i] = rng.Intn(procs)
+				}
+				want, errRef := PlayReference(g, tp.topo, asg)
+				got, errNew := Play(g, tp.topo, asg)
+				if (errRef == nil) != (errNew == nil) {
+					t.Fatalf("%s/%s trial %d: reference err = %v, optimized err = %v",
+						gname, tp.name, trial, errRef, errNew)
+				}
+				if errRef != nil {
+					if errRef.Error() != errNew.Error() {
+						t.Fatalf("%s/%s trial %d: reference err %q, optimized err %q",
+							gname, tp.name, trial, errRef, errNew)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s trial %d: statistics diverge\nreference: %v\noptimized: %v",
+						gname, tp.name, trial, want, got)
+				}
+			}
 		}
 	}
 }

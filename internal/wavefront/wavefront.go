@@ -110,7 +110,10 @@ func WMax(g *cdag.Graph, candidates []cdag.VertexID) (int, cdag.VertexID) {
 	return graphalg.MaxMinWavefrontLowerBound(g, candidates)
 }
 
-// WMaxOptions configures the WMaxOpts search engine.
+// WMaxOptions configures the WMaxOpts search engine: worker-pool width,
+// pruning, two-phase incumbent seeding (Seeds/SeedSample), warm-started
+// solves and the mid-solve level-cut abort.  Every knob is performance-only;
+// bound and witness never change.
 type WMaxOptions = graphalg.WMaxOptions
 
 // WMaxOpts is WMax with explicit search options: a bounded worker pool over
