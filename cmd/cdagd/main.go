@@ -1,0 +1,77 @@
+// Command cdagd serves the analysis engines over HTTP/JSON: a crash-safe
+// daemon that ingests CDAGs (inline JSON or generator specs), caches live
+// Workspaces in a byte-budgeted LRU keyed by content hash, and runs the
+// engines — w^max scans, full analyses, exact searches, pebble-game players
+// and cache simulators — with panic isolation, per-request deadlines,
+// bounded admission queues and request-hash memoization.
+//
+// Usage:
+//
+//	cdagd -addr 127.0.0.1:8080 -cache-mb 256 -drain 10s
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness + queue/cache metrics (always 200)
+//	GET  /readyz                   readiness (503 while draining)
+//	POST /v1/graphs                ingest {"graph": {...}} or {"gen": {...}}
+//	GET  /v1/graphs/{id}           metadata of a cached graph
+//	POST /v1/graphs/{id}/{engine}  run an engine (?deadline_ms= caps it)
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
+// requests get -drain to finish, stragglers are force-cancelled through
+// their contexts, and the process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "TCP listen address")
+		cacheMB  = flag.Int64("cache-mb", 256, "workspace-cache budget in MiB")
+		maxVerts = flag.Int("max-vertices", 2<<20, "largest accepted uploaded graph, in vertices")
+		maxEdges = flag.Int("max-edges", 16<<20, "largest accepted uploaded graph, in edges")
+		solvers  = flag.Int("solvers", 0, "cut solvers outstanding per workspace (0 = GOMAXPROCS)")
+		heavy    = flag.Int("heavy", 2, "in-flight cap for the expensive engines (analyze, wmax, optimal)")
+		light    = flag.Int("light", 16, "in-flight cap for the cheap engines")
+		deadline = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxDl    = flag.Duration("max-deadline", 2*time.Minute, "hard cap on any request deadline")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Addr:            *addr,
+		CacheBudget:     *cacheMB << 20,
+		JSONLimits:      cdag.JSONLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges, MaxLabelBytes: 16 << 20},
+		SolverLimit:     *solvers,
+		HeavyInFlight:   *heavy,
+		LightInFlight:   *light,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDl,
+		DrainTimeout:    *drain,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := s.Run(ctx, func(a net.Addr) {
+		fmt.Printf("cdagd: listening on http://%s\n", a)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdagd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cdagd: drained cleanly")
+}

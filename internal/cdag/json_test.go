@@ -1,0 +1,198 @@
+package cdag
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustJSON marshals a small graph built by fn, for seeding tests.
+func mustJSON(t testing.TB, fn func(g *Graph)) []byte {
+	t.Helper()
+	g := NewGraph("t", 0)
+	fn(g)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+func TestReadJSONLimitsRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		lim     JSONLimits
+		wantSub string
+		isLimit bool
+	}{
+		{
+			name:    "negative vertices",
+			payload: `{"vertices": -1, "edges": []}`,
+			wantSub: "negative vertex count",
+		},
+		{
+			name:    "vertex limit",
+			payload: `{"vertices": 1000000000, "edges": []}`,
+			lim:     JSONLimits{MaxVertices: 1000},
+			wantSub: "vertices > max",
+			isLimit: true,
+		},
+		{
+			name:    "edge limit",
+			payload: `{"vertices": 3, "edges": [[0,1],[1,2],[0,2]]}`,
+			lim:     JSONLimits{MaxEdges: 2},
+			wantSub: "edges > max",
+			isLimit: true,
+		},
+		{
+			name:    "label bytes limit",
+			payload: `{"vertices": 2, "labels": ["aaaaaaaa", "bbbbbbbb"], "edges": []}`,
+			lim:     JSONLimits{MaxLabelBytes: 8},
+			wantSub: "label bytes > max",
+			isLimit: true,
+		},
+		{
+			name:    "edge endpoint out of range",
+			payload: `{"vertices": 2, "edges": [[0,5]]}`,
+			wantSub: "out of range",
+		},
+		{
+			name:    "negative edge endpoint",
+			payload: `{"vertices": 2, "edges": [[-1,1]]}`,
+			wantSub: "out of range",
+		},
+		{
+			name:    "self-loop",
+			payload: `{"vertices": 2, "edges": [[1,1]]}`,
+			wantSub: "self-loop",
+		},
+		{
+			name:    "input out of range",
+			payload: `{"vertices": 2, "edges": [], "inputs": [7]}`,
+			wantSub: "input vertex 7 out of range",
+		},
+		{
+			name:    "output out of range",
+			payload: `{"vertices": 2, "edges": [], "outputs": [-3]}`,
+			wantSub: "output vertex -3 out of range",
+		},
+		{
+			name:    "more labels than vertices",
+			payload: `{"vertices": 1, "labels": ["a", "b"], "edges": []}`,
+			wantSub: "2 labels for 1 vertices",
+		},
+		{
+			name:    "truncated payload",
+			payload: `{"vertices": 2, "edges": [[0,`,
+			wantSub: "unexpected EOF",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSONLimits(strings.NewReader(tc.payload), tc.lim)
+			if err == nil {
+				t.Fatalf("ReadJSONLimits accepted %q", tc.payload)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if got := errors.Is(err, ErrLimit); got != tc.isLimit {
+				t.Fatalf("errors.Is(err, ErrLimit) = %v, want %v (err %q)", got, tc.isLimit, err)
+			}
+		})
+	}
+}
+
+func TestReadJSONLimitsAcceptsWithinLimits(t *testing.T) {
+	data := mustJSON(t, func(g *Graph) {
+		a := g.AddInput("a")
+		b := g.AddVertex("b")
+		c := g.AddOutput("c")
+		g.AddEdge(a, b)
+		g.AddEdge(b, c)
+	})
+	g, err := ReadJSONLimits(bytes.NewReader(data), JSONLimits{MaxVertices: 10, MaxEdges: 10, MaxLabelBytes: 100})
+	if err != nil {
+		t.Fatalf("ReadJSONLimits: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 || g.NumInputs() != 1 || g.NumOutputs() != 1 {
+		t.Fatalf("unexpected decoded graph %v", g)
+	}
+}
+
+func TestEstimateFootprintTracksActual(t *testing.T) {
+	g := NewGraph("fp", 0)
+	var prev VertexID
+	for i := 0; i < 1000; i++ {
+		v := g.AddVertex("x")
+		if i > 0 {
+			g.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	g.Materialize()
+	actual := g.FootprintBytes()
+	est := EstimateFootprintBytes(1000, 999, 1000)
+	if actual <= 0 || est <= 0 {
+		t.Fatalf("non-positive footprint: actual %d est %d", actual, est)
+	}
+	// The estimate predicts the materialized CSR layout; the actual value
+	// also counts slice over-capacity, so agreement within 4x is what the
+	// admission-control use needs.
+	if actual > 4*est || est > 4*actual {
+		t.Fatalf("estimate %d and actual %d diverge", est, actual)
+	}
+}
+
+// FuzzReadJSON asserts the two ingestion guarantees the daemon relies on:
+// no input can panic the decoder, and any accepted input round-trips stably
+// (re-encoding and re-decoding yields a structurally identical graph).
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"vertices":3,"edges":[[0,1],[1,2]],"inputs":[0],"outputs":[2]}`))
+	f.Add([]byte(`{"vertices":2,"labels":["a","b"],"edges":[[0,1]],"inputs":[0],"outputs":[1]}`))
+	f.Add([]byte(`{"vertices":0,"edges":[]}`))
+	f.Add([]byte(`{"vertices":2,"edges":[[1,1]]}`))
+	f.Add([]byte(`{"vertices":-5}`))
+	f.Add([]byte(`{"vertices":4,"edges":[[0,3],[3,0]]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := JSONLimits{MaxVertices: 1 << 12, MaxEdges: 1 << 14, MaxLabelBytes: 1 << 16}
+		g, err := ReadJSONLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		g2, err := ReadJSONLimits(bytes.NewReader(enc), lim)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded input failed: %v\nencoded: %s", err, enc)
+		}
+		if g.NumVertices() != g2.NumVertices() || g.NumEdges() != g2.NumEdges() ||
+			g.NumInputs() != g2.NumInputs() || g.NumOutputs() != g2.NumOutputs() {
+			t.Fatalf("round-trip changed shape: %v vs %v", g, g2)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			id := VertexID(v)
+			if g.IsInput(id) != g2.IsInput(id) || g.IsOutput(id) != g2.IsOutput(id) {
+				t.Fatalf("round-trip changed tags of vertex %d", v)
+			}
+			s1, s2 := g.Succ(id), g2.Succ(id)
+			if len(s1) != len(s2) {
+				t.Fatalf("round-trip changed out-degree of vertex %d: %d vs %d", v, len(s1), len(s2))
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("round-trip changed successor order of vertex %d", v)
+				}
+			}
+			if g.Label(id) != g2.Label(id) {
+				t.Fatalf("round-trip changed label of vertex %d", v)
+			}
+		}
+	})
+}

@@ -63,6 +63,25 @@ func NewWorkspace(g *cdag.Graph) *Workspace {
 // Graph returns the graph the workspace is bound to.
 func (w *Workspace) Graph() *cdag.Graph { return w.g }
 
+// SetSolverLimit caps the number of cut solvers the workspace's pool hands
+// out concurrently (see graphalg.SolverPool.SetLimit): engine workers beyond
+// the cap wait for a solver instead of allocating more.  This is the serving
+// layer's in-flight solver cap; n <= 0 removes it.  Set it before the
+// workspace serves concurrent requests.
+func (w *Workspace) SetSolverLimit(n int) { w.pool.SetLimit(n) }
+
+// FootprintBytes estimates the heap bytes the workspace pins while serving:
+// the graph itself plus up to maxSolvers pooled cut solvers with their cached
+// static networks and scratch (maxSolvers <= 0 estimates one solver).  The
+// serving layer admits a Workspace into its byte-budgeted cache on this
+// number, so an oversized graph is rejected before it is ever opened.
+func (w *Workspace) FootprintBytes(maxSolvers int) int64 {
+	if maxSolvers < 1 {
+		maxSolvers = 1
+	}
+	return w.g.FootprintBytes() + int64(maxSolvers)*graphalg.EstimateSolverFootprint(w.g)
+}
+
 // Pool returns the workspace-owned cut-solver pool, for callers that want to
 // run their own graphalg queries on the workspace's cached networks.
 func (w *Workspace) Pool() *graphalg.SolverPool { return w.pool }
@@ -179,15 +198,32 @@ func (w *Workspace) PlayParallel(ctx context.Context, topo prbw.Topology, asg pr
 
 // Simulate runs the lightweight distributed cache simulator on one
 // configuration; ctx bounds the simulation (checked every 4096 schedule
-// steps).
+// steps).  A nil order selects the workspace's memoized topological schedule.
 func (w *Workspace) Simulate(ctx context.Context, cfg memsim.Config, order []cdag.VertexID, owner []int) (*memsim.Stats, error) {
+	if order == nil {
+		order = w.topoSchedule()
+	}
 	return memsim.RunCtx(ctx, w.g, cfg, order, owner)
 }
 
 // SimulateSweep runs the jobs over a bounded worker pool (workers ≤ 0 selects
-// GOMAXPROCS); ctx bounds the sweep (checked before every job).  Results are
-// deterministically identical to serial Simulate calls at every worker count.
+// GOMAXPROCS); ctx bounds the sweep (checked before every job).  Jobs with a
+// nil Order select the workspace's memoized topological schedule.  Results
+// are deterministically identical to serial Simulate calls at every worker
+// count.
 func (w *Workspace) SimulateSweep(ctx context.Context, jobs []memsim.Job, workers int) ([]*memsim.Stats, error) {
+	var filled []memsim.Job
+	for i := range jobs {
+		if jobs[i].Order == nil {
+			if filled == nil {
+				filled = append([]memsim.Job(nil), jobs...)
+			}
+			filled[i].Order = w.topoSchedule()
+		}
+	}
+	if filled != nil {
+		jobs = filled
+	}
 	return memsim.SweepCtx(ctx, w.g, jobs, workers)
 }
 

@@ -1,0 +1,83 @@
+// Package fault provides the process-wide fault-injection hook and the panic
+// capture machinery behind the daemon's crash isolation.
+//
+// Every worker-pool goroutine in the analysis engines (the w^max candidate
+// scan, the memsim sweep, the P-RBW player) and every request handler of the
+// serving layer runs its work under Capture, which converts a panic into a
+// *PanicError carrying the panic value and stack instead of killing the
+// process.  Named fault points (Inject) are sprinkled at the same seams so
+// tests can force a panic or a stall inside any worker and assert that
+// exactly one request fails, with the process — and every cached Workspace —
+// intact.
+//
+// The hook is process-global and nil by default; Inject compiles to one
+// atomic load and a branch, so leaving the points in production code is free.
+package fault
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Hook observes a named fault point.  A test hook may panic (to simulate a
+// crashed worker), block (to simulate a stall), or return normally.
+type Hook func(point string)
+
+// hook holds the installed Hook; the extra struct layer gives atomic.Value a
+// single consistent concrete type even when different func values are stored.
+var hook atomic.Value // holds hookBox
+
+type hookBox struct{ h Hook }
+
+// SetHook installs h as the process-wide fault hook and returns a function
+// restoring the previous hook.  Passing nil disables injection.  Intended for
+// tests; concurrent SetHook calls race on the restore order, so serialize
+// them (package tests naturally do).
+func SetHook(h Hook) (restore func()) {
+	prev, _ := hook.Load().(hookBox)
+	hook.Store(hookBox{h})
+	return func() { hook.Store(prev) }
+}
+
+// Inject triggers the named fault point: it calls the installed hook, if any.
+// Call it at the top of worker loops and handler bodies — anywhere a test
+// should be able to force a failure.
+func Inject(point string) {
+	if b, _ := hook.Load().(hookBox); b.h != nil {
+		b.h(point)
+	}
+}
+
+// PanicError is a recovered panic, preserved as an error: the panic value,
+// the stack at the point of the panic, and the label of the Capture region
+// that recovered it.  The serving layer maps it to its internal-error class;
+// library callers can errors.As for it to distinguish a crashed engine from
+// an ordinary analysis error.
+type PanicError struct {
+	// Label names the Capture region (e.g. "graphalg.wmax.worker").
+	Label string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value and label; the stack is kept out of the
+// one-line form (callers that want it read the field).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Label, e.Value)
+}
+
+// Capture runs fn and converts a panic inside it into a *PanicError.  It is
+// the recover wrapper every engine worker goroutine runs under: a poisoned
+// job fails with an error, the goroutine (and the process) survives.
+func Capture(label string, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCaptureConvertsPanic(t *testing.T) {
+	err := Capture("test.region", func() { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Capture returned %v, want *PanicError", err)
+	}
+	if pe.Label != "test.region" || pe.Value != "boom" {
+		t.Fatalf("unexpected PanicError %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatalf("PanicError has no stack")
+	}
+	if !strings.Contains(pe.Error(), "test.region") || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("unexpected Error() %q", pe.Error())
+	}
+}
+
+func TestCapturePassesThroughSuccess(t *testing.T) {
+	ran := false
+	if err := Capture("ok", func() { ran = true }); err != nil {
+		t.Fatalf("Capture returned %v for a clean fn", err)
+	}
+	if !ran {
+		t.Fatalf("fn did not run")
+	}
+}
+
+func TestInjectCallsHookAndRestores(t *testing.T) {
+	var got []string
+	restore := SetHook(func(point string) { got = append(got, point) })
+	Inject("a")
+	Inject("b")
+	restore()
+	Inject("c") // no hook installed: must be a no-op
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("hook observed %v, want [a b]", got)
+	}
+}
+
+func TestInjectedPanicIsCaptured(t *testing.T) {
+	restore := SetHook(func(point string) {
+		if point == "worker" {
+			panic("injected")
+		}
+	})
+	defer restore()
+	err := Capture("worker.region", func() { Inject("worker") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic not captured: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ type SolverPool struct {
 	g    *cdag.Graph
 	mu   sync.Mutex
 	free []*CutSolver
+	sem  chan struct{} // nil = unlimited; else one slot per outstanding solver
 }
 
 // NewSolverPool returns an empty pool bound to g.  It materializes g's CSR
@@ -35,9 +36,49 @@ func NewSolverPool(g *cdag.Graph) *SolverPool {
 // Graph returns the graph the pool's solvers are bound to.
 func (p *SolverPool) Graph() *cdag.Graph { return p.g }
 
+// SetLimit caps the number of solvers outstanding from the pool at once:
+// when n solvers are out, further Get calls block until one is returned with
+// Put (or dropped with Discard).  This is the serving layer's global
+// in-flight solver cap — it bounds the memory and CPU a Workspace's cut
+// queries can hold regardless of how many requests race on it.  n <= 0
+// removes the cap.  Call before the pool is shared; changing the limit while
+// solvers are outstanding loses track of them.
+func (p *SolverPool) SetLimit(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		p.sem = nil
+		return
+	}
+	p.sem = make(chan struct{}, n)
+}
+
+// Limit returns the current cap on outstanding solvers (0 = unlimited).
+func (p *SolverPool) Limit() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cap(p.sem)
+}
+
+// InUse returns the number of solvers currently outstanding.  Only meaningful
+// under a SetLimit cap (0 otherwise); the serving layer reports it as a
+// load metric.
+func (p *SolverPool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sem)
+}
+
 // Get returns a solver bound to the pool's graph, reusing a previously
-// returned one when available.
+// returned one when available.  Under a SetLimit cap, Get blocks while the
+// full complement of solvers is outstanding.
 func (p *SolverPool) Get() *CutSolver {
+	p.mu.Lock()
+	sem := p.sem
+	p.mu.Unlock()
+	if sem != nil {
+		sem <- struct{}{}
+	}
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		cs := p.free[n-1]
@@ -59,7 +100,39 @@ func (p *SolverPool) Put(cs *CutSolver) {
 	}
 	p.mu.Lock()
 	p.free = append(p.free, cs)
+	sem := p.sem
 	p.mu.Unlock()
+	if sem != nil {
+		<-sem
+	}
+}
+
+// Discard releases the capacity slot of a solver obtained from Get without
+// returning the solver itself: the panic-isolation path drops a solver whose
+// scratch may have been poisoned mid-solve rather than let a later query
+// reuse it.  The solver is garbage collected; the pool replaces it lazily.
+func (p *SolverPool) Discard(cs *CutSolver) {
+	if cs == nil {
+		return
+	}
+	p.mu.Lock()
+	sem := p.sem
+	p.mu.Unlock()
+	if sem != nil {
+		<-sem
+	}
+}
+
+// EstimateSolverFootprint estimates the steady-state heap bytes one CutSolver
+// holds once bound to g: the epoch-stamped per-vertex mark arrays, the cached
+// static vertex-split flow network (2V+2 nodes, one split arc per vertex plus
+// one arc pair per edge, with capacity and adjacency words), and traversal
+// scratch.  The serving layer multiplies this by its solver cap to budget a
+// Workspace's cache admission; it is a planning estimate, not an accounting
+// of live allocations.
+func EstimateSolverFootprint(g *cdag.Graph) int64 {
+	v, e := int64(g.NumVertices()), int64(g.NumEdges())
+	return 60*v + 30*e + 4096
 }
 
 // MinWavefrontAt is MinWavefrontLowerBoundStrip on a pooled solver.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"cdagio/internal/cdag"
+	"cdagio/internal/fault"
 )
 
 // WMaxOptions configures the w^max candidate search of
@@ -215,9 +216,14 @@ const defaultSeedSample = 32
 // candidate index than a bound-attaining candidate already solved.  Skipped
 // candidates therefore never affect the packed maximum the search returns.
 func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, opts WMaxOptions) (int, cdag.VertexID) {
-	// context.Background() is never cancelled, so the error is structurally
-	// impossible here.
-	w, at, _ := MaxMinWavefrontLowerBoundCtx(context.Background(), g, candidates, opts)
+	// context.Background() is never cancelled, so the only possible error is a
+	// captured worker panic; this legacy entry point has no error return, so
+	// the crash propagates as it always did instead of being silently
+	// swallowed into a zero bound.
+	w, at, err := MaxMinWavefrontLowerBoundCtx(context.Background(), g, candidates, opts)
+	if err != nil {
+		panic(err)
+	}
 	return w, at
 }
 
@@ -364,20 +370,24 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 			if sw > len(seedIdx) {
 				sw = len(seedIdx)
 			}
-			parallelFor(ctx, opts.Pool, g, sw, len(seedIdx), func(cs *CutSolver, k int) {
+			if err := parallelFor(ctx, opts.Pool, g, sw, len(seedIdx), func(cs *CutSolver, k int) {
 				scan(cs, seedIdx[k])
-			})
+			}); err != nil {
+				return 0, cdag.InvalidVertex, err
+			}
 		}
 	}
 
 	// Phase 2 — the full candidate scan in decreasing upper-bound order.
-	parallelFor(ctx, opts.Pool, g, workers, nc, func(cs *CutSolver, k int) {
+	if err := parallelFor(ctx, opts.Pool, g, workers, nc, func(cs *CutSolver, k int) {
 		i := order[k]
 		if isSeeded != nil && isSeeded[i] {
 			return
 		}
 		scan(cs, i)
-	})
+	}); err != nil {
+		return 0, cdag.InvalidVertex, err
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, cdag.InvalidVertex, err
 	}
@@ -390,12 +400,25 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 	return bound, candidates[idx], nil
 }
 
+// wmaxWorkerFault is the fault-injection point inside every w^max scan
+// worker, triggered once per claimed candidate.  Tests install a fault.Hook
+// that panics or stalls here to prove one poisoned candidate fails one
+// search, never the process.
+const wmaxWorkerFault = "graphalg.wmax.worker"
+
 // parallelFor runs body(i) for i in [0, n) over the given number of worker
 // goroutines, each with its own CutSolver bound to g — drawn from pool when
 // one is supplied, freshly allocated otherwise.  Workers re-check ctx before
 // claiming each index and stop claiming once it is cancelled; in-flight body
 // calls run to completion (the caller surfaces ctx.Err()).
-func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, n int, body func(*CutSolver, int)) {
+//
+// Every body call runs under fault.Capture: a panic inside a worker — from
+// the engine itself or injected at the wmaxWorkerFault point — is converted
+// into a *fault.PanicError, the remaining workers stop claiming, and
+// parallelFor returns the error instead of crashing the process.  A solver
+// that was solving when its body panicked is discarded, never returned to
+// the pool, since its scratch may be mid-mutation.
+func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, n int, body func(*CutSolver, int)) error {
 	acquire := func() *CutSolver {
 		if pool != nil {
 			return pool.Get()
@@ -409,16 +432,41 @@ func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, 
 			pool.Put(cs)
 		}
 	}
+	discard := func(cs *CutSolver) {
+		if pool != nil {
+			pool.Discard(cs)
+		}
+	}
+	runBody := func(cs *CutSolver, i int) error {
+		return fault.Capture(wmaxWorkerFault, func() {
+			fault.Inject(wmaxWorkerFault)
+			body(cs, i)
+		})
+	}
+	var failed atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
 	if workers <= 1 {
 		cs := acquire()
-		defer release(cs)
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
-				return
+				break
 			}
-			body(cs, i)
+			if err := runBody(cs, i); err != nil {
+				discard(cs)
+				return err
+			}
 		}
-		return
+		release(cs)
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -427,20 +475,27 @@ func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, 
 		go func() {
 			defer wg.Done()
 			cs := acquire()
-			defer release(cs)
 			for {
-				if ctx.Err() != nil {
-					return
+				if ctx.Err() != nil || failed.Load() {
+					break
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					break
+				}
+				if err := runBody(cs, i); err != nil {
+					fail(err)
+					discard(cs)
 					return
 				}
-				body(cs, i)
 			}
+			release(cs)
 		}()
 	}
 	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
 }
 
 // lateBound returns the boundary size of the latest convex cut around the

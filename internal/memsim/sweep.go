@@ -7,7 +7,26 @@ import (
 	"sync/atomic"
 
 	"cdagio/internal/cdag"
+	"cdagio/internal/fault"
 )
+
+// sweepWorkerFault is the fault-injection point inside every sweep worker,
+// triggered once per claimed job.  Tests install a fault.Hook that panics
+// here to prove one poisoned job fails one sweep, never the process.
+const sweepWorkerFault = "memsim.sweep.worker"
+
+// runJob executes one job under the worker recover wrapper: a panic inside
+// the simulator (or injected at sweepWorkerFault) becomes that job's error
+// instead of killing the worker goroutine and the process with it.
+func runJob(ctx context.Context, g *cdag.Graph, job Job) (stats *Stats, err error) {
+	if perr := fault.Capture(sweepWorkerFault, func() {
+		fault.Inject(sweepWorkerFault)
+		stats, err = RunCtx(ctx, g, job.Cfg, job.Order, job.Owner)
+	}); perr != nil {
+		return nil, perr
+	}
+	return stats, err
+}
 
 // Job is one simulation of a sweep: a machine configuration, a schedule and
 // an optional vertex→node assignment, all against a shared graph.
@@ -60,7 +79,7 @@ func SweepCtx(ctx context.Context, g *cdag.Graph, jobs []Job, workers int) ([]*S
 			if ctx.Err() != nil {
 				break
 			}
-			out[i], errs[i] = RunCtx(ctx, g, j.Cfg, j.Order, j.Owner)
+			out[i], errs[i] = runJob(ctx, g, j)
 		}
 	} else {
 		var next atomic.Int64
@@ -77,7 +96,7 @@ func SweepCtx(ctx context.Context, g *cdag.Graph, jobs []Job, workers int) ([]*S
 					if i >= len(jobs) {
 						return
 					}
-					out[i], errs[i] = RunCtx(ctx, g, jobs[i].Cfg, jobs[i].Order, jobs[i].Owner)
+					out[i], errs[i] = runJob(ctx, g, jobs[i])
 				}
 			}()
 		}

@@ -244,14 +244,6 @@ func (game *Game) Apply(m Move) error {
 	return nil
 }
 
-// MustApply applies the move and panics on rule violations.  Intended for
-// strategy code whose moves are correct by construction.
-func (game *Game) MustApply(m Move) {
-	if err := game.Apply(m); err != nil {
-		panic(err)
-	}
-}
-
 // IsComplete reports whether the game has reached a final state:
 //
 //   - Hong–Kung: every output-tagged vertex holds a blue pebble and every

@@ -10,6 +10,15 @@ import (
 	"cdagio/internal/gen"
 )
 
+// mustApply applies a move the test believes legal, failing the test (not
+// panicking the process) if the game disagrees.
+func mustApply(t *testing.T, game *Game, m Move) {
+	t.Helper()
+	if err := game.Apply(m); err != nil {
+		t.Fatalf("Apply(%v): %v", m, err)
+	}
+}
+
 func TestGameRulesChain(t *testing.T) {
 	g := gen.Chain(3) // x0 -> x1 -> x2
 	game := NewGame(g, RBW, 2, true)
@@ -28,7 +37,7 @@ func TestGameRulesChain(t *testing.T) {
 	if err := game.Apply(Move{Compute, 0}); err == nil {
 		t.Fatalf("expected compute failure on input")
 	}
-	game.MustApply(Move{Load, 0})
+	mustApply(t, game, Move{Load, 0})
 	if !game.HasRed(0) || !game.HasWhite(0) {
 		t.Fatalf("load did not place red+white pebbles")
 	}
@@ -36,24 +45,24 @@ func TestGameRulesChain(t *testing.T) {
 	if err := game.Apply(Move{Load, 0}); err == nil {
 		t.Fatalf("expected duplicate load failure")
 	}
-	game.MustApply(Move{Compute, 1})
+	mustApply(t, game, Move{Compute, 1})
 	// Fast memory is now full (S=2): another compute must fail.
 	if err := game.Apply(Move{Compute, 2}); err == nil {
 		t.Fatalf("expected compute failure with no free red pebble")
 	}
-	game.MustApply(Move{Delete, 0})
+	mustApply(t, game, Move{Delete, 0})
 	// Recomputation is forbidden in RBW.
 	if err := game.Apply(Move{Compute, 1}); err == nil {
 		t.Fatalf("expected recomputation failure in RBW")
 	}
-	game.MustApply(Move{Compute, 2})
+	mustApply(t, game, Move{Compute, 2})
 	if game.IsComplete() {
 		t.Fatalf("game should not be complete before the output store")
 	}
 	if msg := game.Incomplete(); !strings.Contains(msg, "output") {
 		t.Fatalf("Incomplete = %q", msg)
 	}
-	game.MustApply(Move{Store, 2})
+	mustApply(t, game, Move{Store, 2})
 	if !game.IsComplete() {
 		t.Fatalf("game should be complete, still missing: %s", game.Incomplete())
 	}
@@ -88,24 +97,25 @@ func TestGameRulesChain(t *testing.T) {
 func TestHongKungAllowsRecomputation(t *testing.T) {
 	g := gen.Chain(3)
 	game := NewGame(g, HongKung, 2, false)
-	game.MustApply(Move{Load, 0})
-	game.MustApply(Move{Compute, 1})
-	game.MustApply(Move{Delete, 1})
+	mustApply(t, game, Move{Load, 0})
+	mustApply(t, game, Move{Compute, 1})
+	mustApply(t, game, Move{Delete, 1})
 	// Recompute the same vertex: legal in the Hong-Kung variant.
 	if err := game.Apply(Move{Compute, 1}); err != nil {
 		t.Fatalf("recompute should be legal in Hong-Kung: %v", err)
 	}
 }
 
-func TestMustApplyPanics(t *testing.T) {
+func TestApplyIllegalMoveLeavesStateUnchanged(t *testing.T) {
 	g := gen.Chain(2)
 	game := NewGame(g, RBW, 1, false)
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("expected panic from MustApply on illegal move")
-		}
-	}()
-	game.MustApply(Move{Compute, 0})
+	var illegal *IllegalMoveError
+	if err := game.Apply(Move{Compute, 0}); !errors.As(err, &illegal) {
+		t.Fatalf("computing an input: error type = %T, want *IllegalMoveError", err)
+	}
+	if game.RedInUse() != 0 || game.IO() != 0 {
+		t.Fatalf("failed move mutated game state")
+	}
 }
 
 func TestStringers(t *testing.T) {

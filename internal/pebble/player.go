@@ -54,6 +54,12 @@ func (e *ScheduleError) Error() string { return "pebble: invalid schedule: " + e
 func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	policy EvictionPolicy, record bool) (Result, error) {
 
+	// s reaches NewGame below, which treats a non-positive pebble budget as a
+	// programmer error and panics; on this path s is caller (request) data,
+	// so it must fail as an input error instead.
+	if s < 1 {
+		return Result{}, &ScheduleError{Reason: fmt.Sprintf("S=%d: need at least one red pebble", s)}
+	}
 	n := g.NumVertices()
 	// Every traversal below replays predecessor rows, so hoist the flat CSR
 	// arrays once: the rows are identical to g.Pred(v) in content and order,

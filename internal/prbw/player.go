@@ -3,8 +3,10 @@ package prbw
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
 	"cdagio/internal/cdag"
+	"cdagio/internal/fault"
 )
 
 // Assignment describes a parallel execution of a CDAG: a single global
@@ -197,11 +199,31 @@ func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	return PlayCtx(context.Background(), g, topo, asg)
 }
 
+// playFault is the fault-injection point inside the P-RBW player, triggered
+// on entry and at every context-check boundary (once per 4096 compute
+// steps).  Tests install a fault.Hook that panics or stalls here to prove a
+// poisoned play fails its own request, never the process.
+const playFault = "prbw.play"
+
 // PlayCtx is Play under a context: the schedule loop checks ctx every 4096
 // compute steps (individual game moves stay atomic) and returns ctx.Err()
 // promptly once the context is cancelled.  Under a never-cancelled context
 // the game — every move, every statistic — is bit-identical to Play.
-func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
+//
+// The whole play runs under a recover wrapper: a panic inside the player (or
+// injected at the playFault point) is returned as a *fault.PanicError
+// instead of crashing the caller's process.
+func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) (stats *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*fault.PanicError); ok {
+				stats, err = nil, pe
+				return
+			}
+			stats, err = nil, &fault.PanicError{Label: playFault, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fault.Inject(playFault)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -259,6 +281,7 @@ func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) 
 	// Execute the schedule.
 	for i, v := range asg.Order {
 		if i&4095 == 0 {
+			fault.Inject(playFault)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// gate is the admission controller for one engine class: a bounded in-flight
+// slot pool fronted by a bounded wait queue.  A request first tries to take
+// an in-flight slot; if none is free it takes a queue slot and waits; if the
+// queue is full too, the request is rejected immediately with 429 +
+// Retry-After — backpressure instead of unbounded goroutine pile-up.
+//
+// Both pools are plain buffered channels, so depth and occupancy reads are
+// len() on a channel: cheap enough for /healthz to report on every poll.
+type gate struct {
+	name  string
+	slots chan struct{} // in-flight capacity
+	queue chan struct{} // waiting capacity
+}
+
+func newGate(name string, inFlight, queueDepth int) *gate {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &gate{
+		name:  name,
+		slots: make(chan struct{}, inFlight),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire admits the request or rejects it with an overload error.  On
+// success the returned release function MUST be called exactly once when the
+// request finishes.  Waiting in the queue respects ctx: a caller whose
+// deadline expires while queued gets a deadline error, not a slot.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-g.slots }
+	select {
+	case g.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return nil, overloadedf(g.retryAfter(),
+			"%s queue full (%d in flight, %d queued)", g.name, len(g.slots), len(g.queue))
+	}
+	defer func() { <-g.queue }()
+	select {
+	case g.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// retryAfter estimates how long a rejected client should wait: one "service
+// time" per queued-or-running request ahead of it, floored at a second.  A
+// heuristic, not a promise — its job is to spread the retry storm.
+func (g *gate) retryAfter() time.Duration {
+	waiting := len(g.slots) + len(g.queue)
+	d := time.Duration(1+waiting/cap(g.slots)) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// inFlight returns the number of requests currently executing in this class.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// queued returns the number of requests currently waiting for a slot.
+func (g *gate) queued() int { return len(g.queue) }
+
+// saturated reports whether the class is at or beyond the given fraction of
+// its total (in-flight + queue) capacity.  The server sheds the expensive
+// engine class when the cheap class is saturated, so bound probes keep
+// flowing while w^max scans wait out the storm.
+func (g *gate) saturated(frac float64) bool {
+	capTotal := cap(g.slots) + cap(g.queue)
+	used := len(g.slots) + len(g.queue)
+	return float64(used) >= frac*float64(capTotal)
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"cdagio/internal/core"
+)
+
+// wsEntry is one cached Workspace: the handle itself, its admission-time
+// footprint estimate, a pin count (requests currently executing against it),
+// and the per-request memo table of finished responses.
+type wsEntry struct {
+	id        string
+	ws        *core.Workspace
+	footprint int64 // admission estimate: graph + solver-cap worth of solvers
+	refs      int   // in-flight requests pinning the entry against eviction
+	elem      *list.Element
+
+	memo      map[string][]byte // request hash -> rendered response body
+	memoBytes int64
+}
+
+// wsCache is the byte-budgeted LRU of live Workspaces, keyed by content hash.
+// Admission is by estimated footprint: a graph whose Workspace would not fit
+// in the budget even after evicting every unpinned entry is rejected up front
+// (413) instead of being opened and OOM-ing the process.  Entries pinned by
+// in-flight requests are never evicted; eviction takes the least recently
+// used unpinned entry.
+//
+// The memo table rides the same budget: a finished response body is cached
+// under its request hash so an identical request replays the exact bytes —
+// the engines are deterministic, so this is both a performance and a
+// bit-stability guarantee across retries.
+type wsCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recently used; values are *wsEntry
+	byID   map[string]*wsEntry
+
+	maxMemoEntry int64 // responses larger than this are not memoized
+}
+
+func newWSCache(budget int64) *wsCache {
+	return &wsCache{
+		budget:       budget,
+		lru:          list.New(),
+		byID:         map[string]*wsEntry{},
+		maxMemoEntry: 1 << 20,
+	}
+}
+
+// get pins and returns the entry for id, or nil if it is not resident.
+func (c *wsCache) get(id string) *wsEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.byID[id]
+	if e == nil {
+		return nil
+	}
+	e.refs++
+	c.lru.MoveToFront(e.elem)
+	return e
+}
+
+// release unpins an entry obtained from get or add.
+func (c *wsCache) release(e *wsEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.refs--
+}
+
+// add admits a freshly opened Workspace under id, evicting unpinned entries
+// LRU-first until it fits, and returns the entry pinned.  If another request
+// raced us and the id is already resident, the existing entry wins (pinned)
+// and the caller's Workspace is dropped.  If the footprint cannot fit in the
+// budget even with every unpinned entry evicted, add rejects with a
+// resource-limit error and the Workspace is dropped.
+func (c *wsCache) add(id string, ws *core.Workspace, footprint int64) (*wsEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.byID[id]; e != nil {
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		return e, nil
+	}
+	if footprint > c.budget {
+		return nil, limitf("graph footprint %d bytes exceeds cache budget %d bytes", footprint, c.budget)
+	}
+	if !c.makeRoom(footprint) {
+		return nil, limitf("graph footprint %d bytes does not fit: %d of %d budget bytes pinned by in-flight requests",
+			footprint, c.used, c.budget)
+	}
+	e := &wsEntry{id: id, ws: ws, footprint: footprint, refs: 1, memo: map[string][]byte{}}
+	e.elem = c.lru.PushFront(e)
+	c.byID[id] = e
+	c.used += footprint
+	return e, nil
+}
+
+// makeRoom evicts unpinned entries LRU-first until need bytes fit.  Caller
+// holds c.mu.  Returns false if the remaining entries are all pinned and the
+// budget still cannot cover need.
+func (c *wsCache) makeRoom(need int64) bool {
+	for c.used+need > c.budget {
+		victim := c.oldestUnpinned()
+		if victim == nil {
+			return false
+		}
+		c.evict(victim)
+	}
+	return true
+}
+
+func (c *wsCache) oldestUnpinned() *wsEntry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*wsEntry); e.refs == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// evict removes an entry.  Caller holds c.mu and guarantees refs == 0.
+func (c *wsCache) evict(e *wsEntry) {
+	c.lru.Remove(e.elem)
+	delete(c.byID, e.id)
+	c.used -= e.footprint + e.memoBytes
+}
+
+// memoGet returns the memoized response body for a request hash, if present.
+func (c *wsCache) memoGet(e *wsEntry, reqHash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, ok := e.memo[reqHash]
+	return body, ok
+}
+
+// memoPut records a finished response body under its request hash, charging
+// it to the cache budget.  Oversized bodies and bodies that no longer fit
+// after evicting unpinned siblings are simply not memoized — memoization is
+// an optimization, never a reason to fail a request that already succeeded.
+func (c *wsCache) memoPut(e *wsEntry, reqHash string, body []byte) {
+	n := int64(len(body))
+	if n > c.maxMemoEntry {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := e.memo[reqHash]; dup {
+		return
+	}
+	if c.used+n > c.budget {
+		return
+	}
+	e.memo[reqHash] = body
+	e.memoBytes += n
+	c.used += n
+}
+
+// stats reports occupancy for /healthz.
+func (c *wsCache) stats() (graphs int, usedBytes, budgetBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byID), c.used, c.budget
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/fault"
+	"cdagio/internal/pebble"
+)
+
+// The error taxonomy of the daemon.  Every failure a request can experience
+// is classified into exactly one of these classes before it leaves the
+// process, so clients see a stable, machine-readable contract and a panic
+// deep inside an engine worker surfaces as a structured 500 — never as a
+// dead process.
+var (
+	// ErrInvalidInput classifies malformed or semantically invalid request
+	// data: unparsable JSON, graphs failing validation, unknown engines or
+	// parameters out of domain.  HTTP 400.
+	ErrInvalidInput = errors.New("serve: invalid input")
+	// ErrResourceLimit classifies requests that exceed a configured resource
+	// bound: graphs larger than the admission footprint, declared sizes over
+	// the ingestion limits, exact searches beyond their state budget.
+	// HTTP 413.
+	ErrResourceLimit = errors.New("serve: resource limit exceeded")
+	// ErrOverloaded classifies admission-control rejections: the request
+	// queue for the engine class is full (HTTP 429 + Retry-After), or the
+	// server is shedding expensive engines under load (HTTP 503 +
+	// Retry-After).
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrNotFound classifies requests against unknown routes or graph IDs
+	// (possibly evicted from the Workspace cache).  HTTP 404.
+	ErrNotFound = errors.New("serve: not found")
+	// ErrDeadline classifies requests whose deadline expired (or whose
+	// client went away) before the engines finished.  HTTP 504.
+	ErrDeadline = errors.New("serve: deadline exceeded")
+	// ErrInternal classifies everything that is the daemon's own fault —
+	// above all, recovered panics from engine workers.  HTTP 500.
+	ErrInternal = errors.New("serve: internal error")
+)
+
+// Error is a classified request failure: one taxonomy class, a human
+// diagnostic, and (for overload rejections) a retry hint.
+type Error struct {
+	Class  error         // one of the taxonomy sentinels above
+	Detail string        // human-readable diagnostic
+	Retry  time.Duration // > 0: client should retry after this long
+	Shed   bool          // overload subclass: the engine class was shed (503, not 429)
+}
+
+// Error renders the class and detail.
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return e.Class.Error()
+	}
+	return fmt.Sprintf("%v: %s", e.Class, e.Detail)
+}
+
+// Unwrap exposes the taxonomy class to errors.Is.
+func (e *Error) Unwrap() error { return e.Class }
+
+func invalidf(format string, args ...any) *Error {
+	return &Error{Class: ErrInvalidInput, Detail: fmt.Sprintf(format, args...)}
+}
+
+func limitf(format string, args ...any) *Error {
+	return &Error{Class: ErrResourceLimit, Detail: fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) *Error {
+	return &Error{Class: ErrNotFound, Detail: fmt.Sprintf(format, args...)}
+}
+
+func overloadedf(retry time.Duration, format string, args ...any) *Error {
+	return &Error{Class: ErrOverloaded, Detail: fmt.Sprintf(format, args...), Retry: retry}
+}
+
+func shedf(retry time.Duration, format string, args ...any) *Error {
+	return &Error{Class: ErrOverloaded, Detail: fmt.Sprintf(format, args...), Retry: retry, Shed: true}
+}
+
+func internalf(format string, args ...any) *Error {
+	return &Error{Class: ErrInternal, Detail: fmt.Sprintf(format, args...)}
+}
+
+// classify maps an arbitrary engine or ingestion error onto the taxonomy.
+// Recovered panics are internal; context expiry is a deadline; the engines'
+// size/budget sentinels and the ingestion limits are resource limits; every
+// other engine error is a complaint about the request's data or parameters
+// and classifies as invalid input.
+func classify(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	var pe *fault.PanicError
+	if errors.As(err, &pe) {
+		return &Error{Class: ErrInternal, Detail: pe.Error()}
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return &Error{Class: ErrDeadline, Detail: err.Error()}
+	case errors.Is(err, cdag.ErrLimit),
+		errors.Is(err, pebble.ErrTooLarge),
+		errors.Is(err, pebble.ErrSearchBudget):
+		return &Error{Class: ErrResourceLimit, Detail: err.Error()}
+	default:
+		return &Error{Class: ErrInvalidInput, Detail: err.Error()}
+	}
+}
+
+// classKey returns the wire name of the error's taxonomy class, the stable
+// string clients switch on.
+func classKey(e *Error) string {
+	switch {
+	case errors.Is(e.Class, ErrInvalidInput):
+		return "invalid_input"
+	case errors.Is(e.Class, ErrResourceLimit):
+		return "resource_limit"
+	case errors.Is(e.Class, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(e.Class, ErrNotFound):
+		return "not_found"
+	case errors.Is(e.Class, ErrDeadline):
+		return "deadline"
+	default:
+		return "internal"
+	}
+}
+
+// httpStatus maps the error's taxonomy class to its HTTP status code.
+func httpStatus(e *Error) int {
+	switch {
+	case errors.Is(e.Class, ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(e.Class, ErrResourceLimit):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(e.Class, ErrOverloaded):
+		if e.Shed {
+			// Load shedding (dropping the expensive engine class) is "service
+			// unavailable"; a momentarily full queue is "too many requests".
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusTooManyRequests
+	case errors.Is(e.Class, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(e.Class, ErrDeadline):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

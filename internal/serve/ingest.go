@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/gen"
+)
+
+// uploadRequest is the body of POST /v1/graphs: exactly one of Graph (an
+// inline CDAG in the cdag JSON schema) or Gen (a generator spec) must be set.
+type uploadRequest struct {
+	Graph json.RawMessage `json:"graph,omitempty"`
+	Gen   *genSpec        `json:"gen,omitempty"`
+}
+
+// genSpec names one of the paper's CDAG families and its size parameters.
+// Unused parameters for a kind must be zero; the canonical hash key includes
+// only the parameters the kind consumes, so equivalent specs share an ID.
+type genSpec struct {
+	Kind       string `json:"kind"`
+	N          int    `json:"n,omitempty"`
+	K          int    `json:"k,omitempty"`
+	H          int    `json:"h,omitempty"`
+	Dim        int    `json:"dim,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Stencil    string `json:"stencil,omitempty"` // "star" (default) or "box"
+}
+
+// buildGen constructs the named generator graph.  The generators enforce
+// their parameter domains by panicking — fine for test code, unacceptable
+// for request data — so the whole construction runs under a recover that
+// converts the panic message into an invalid-input error.
+func buildGen(spec *genSpec) (g *cdag.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = invalidf("generator %q: %v", spec.Kind, r)
+		}
+	}()
+	switch strings.ToLower(spec.Kind) {
+	case "chain":
+		return gen.Chain(spec.N), nil
+	case "chains":
+		return gen.IndependentChains(spec.K, spec.N), nil
+	case "tree":
+		return gen.ReductionTree(spec.N), nil
+	case "dot":
+		return gen.DotProduct(spec.N), nil
+	case "saxpy":
+		return gen.Saxpy(spec.N), nil
+	case "outer":
+		return gen.OuterProduct(spec.N), nil
+	case "matmul":
+		return gen.MatMul(spec.N).Graph, nil
+	case "composite":
+		return gen.Composite(spec.N).Graph, nil
+	case "fft":
+		return gen.FFT(spec.N), nil
+	case "binomial":
+		return gen.BinomialTree(spec.K), nil
+	case "pyramid":
+		return gen.Pyramid(spec.H), nil
+	case "heat":
+		return gen.HeatEquation1D(spec.N, spec.Steps).Graph, nil
+	case "jacobi":
+		kind := gen.StencilStar
+		switch strings.ToLower(spec.Stencil) {
+		case "", "star":
+		case "box":
+			kind = gen.StencilBox
+		default:
+			return nil, invalidf("generator jacobi: unknown stencil %q (want star or box)", spec.Stencil)
+		}
+		return gen.Jacobi(spec.Dim, spec.N, spec.Steps, kind).Graph, nil
+	case "cg":
+		return gen.CG(spec.Dim, spec.N, spec.Iterations).Graph, nil
+	case "gmres":
+		return gen.GMRES(spec.Dim, spec.N, spec.Iterations).Graph, nil
+	default:
+		return nil, invalidf("unknown generator kind %q", spec.Kind)
+	}
+}
+
+// genKey renders the canonical identity string of a generator spec: the
+// lower-cased kind plus exactly the parameters that kind consumes, so
+// {"kind":"chain","n":8} and {"kind":"Chain","n":8,"k":0} hash identically.
+func genKey(spec *genSpec) string {
+	kind := strings.ToLower(spec.Kind)
+	params := map[string]int{}
+	switch kind {
+	case "chain", "tree", "dot", "saxpy", "outer", "matmul", "composite", "fft":
+		params["n"] = spec.N
+	case "chains":
+		params["k"], params["n"] = spec.K, spec.N
+	case "binomial":
+		params["k"] = spec.K
+	case "pyramid":
+		params["h"] = spec.H
+	case "heat":
+		params["n"], params["steps"] = spec.N, spec.Steps
+	case "jacobi":
+		params["dim"], params["n"], params["steps"] = spec.Dim, spec.N, spec.Steps
+		st := strings.ToLower(spec.Stencil)
+		if st == "" {
+			st = "star"
+		}
+		return fmt.Sprintf("gen/jacobi/dim=%d,n=%d,steps=%d,stencil=%s",
+			spec.Dim, spec.N, spec.Steps, st)
+	case "cg", "gmres":
+		params["dim"], params["n"], params["iter"] = spec.Dim, spec.N, spec.Iterations
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen/%s/", kind)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, params[k])
+	}
+	return b.String()
+}
+
+// hashID renders a content identity string as the daemon's graph ID.
+func hashID(identity []byte) string {
+	sum := sha256.Sum256(identity)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// ingestGraph turns an upload request into a validated graph plus its
+// content-hash ID.  Inline graphs decode under the configured adversarial
+// limits and are hashed over their canonical re-marshaled form (so
+// whitespace and field order in the upload do not split the cache);
+// generator graphs are hashed over the canonical spec key, which is far
+// cheaper than marshaling a million-vertex stencil.  Every graph — uploaded
+// or generated — must pass RBW validation before it reaches an engine: the
+// engines' topological-order entry points panic on cycles, and that panic
+// must stay unreachable from request data.
+func (s *Server) ingestGraph(body []byte) (*cdag.Graph, string, error) {
+	var req uploadRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, "", invalidf("upload body: %v", err)
+	}
+	switch {
+	case req.Graph != nil && req.Gen != nil:
+		return nil, "", invalidf("upload body: graph and gen are mutually exclusive")
+	case req.Graph == nil && req.Gen == nil:
+		return nil, "", invalidf("upload body: need a graph or a gen spec")
+	}
+
+	var (
+		g        *cdag.Graph
+		identity []byte
+	)
+	if req.Gen != nil {
+		var err error
+		if g, err = buildGen(req.Gen); err != nil {
+			return nil, "", err
+		}
+		identity = []byte(genKey(req.Gen))
+	} else {
+		var err error
+		if g, err = cdag.ReadJSONLimits(bytes.NewReader(req.Graph), s.cfg.JSONLimits); err != nil {
+			return nil, "", classify(err)
+		}
+		if identity, err = json.Marshal(g); err != nil {
+			return nil, "", internalf("canonicalize graph: %v", err)
+		}
+	}
+	if err := g.Validate(cdag.ValidateRBW); err != nil {
+		return nil, "", invalidf("graph rejected: %v", err)
+	}
+	return g, hashID(identity), nil
+}
+
+// requestHash is the memoization key of an engine request: engine name plus
+// the raw request body.  The engines are deterministic under a live context,
+// so one hash maps to exactly one response body.
+func requestHash(engine string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(engine))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}

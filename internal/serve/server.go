@@ -1,0 +1,486 @@
+// Package serve implements cdagd, the crash-safe analysis daemon over the
+// Workspace seam: an HTTP/JSON front end that ingests CDAGs (inline JSON or
+// generator specs), keeps a byte-budgeted LRU of live Workspaces keyed by
+// content hash, and exposes the engines with panic isolation, per-request
+// deadlines, bounded admission queues and request-hash memoization.
+//
+// The robustness contract: no request — however malformed, oversized or
+// unlucky — kills the process or poisons a cached Workspace.  Every failure
+// is classified into the error taxonomy (ErrInvalidInput, ErrResourceLimit,
+// ErrOverloaded, ErrNotFound, ErrDeadline, ErrInternal) before it leaves the
+// daemon, and a panic inside an engine worker surfaces as a structured 500
+// while subsequent requests on the same Workspace keep returning
+// bit-identical results.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/core"
+	"cdagio/internal/fault"
+)
+
+// FaultPoint installs a test hook called at every fault-injection point the
+// engines pass through (e.g. "graphalg.wmax.worker", "memsim.sweep.worker",
+// "prbw.play"); a hook that panics simulates a crash at that point.  The
+// returned function restores the previous hook.  This is the lever the
+// crash-safety e2e tests pull to prove panic isolation; production servers
+// never install one.
+func FaultPoint(h func(point string)) (restore func()) {
+	return fault.SetHook(fault.Hook(h))
+}
+
+// Config tunes the daemon.  The zero value serves with the defaults below.
+type Config struct {
+	// Addr is the TCP listen address ("" selects 127.0.0.1:0).
+	Addr string
+	// CacheBudget bounds the total estimated bytes of cached Workspaces and
+	// memoized responses (default 256 MiB).
+	CacheBudget int64
+	// JSONLimits bounds inline graph uploads before allocation (defaults:
+	// 2M vertices, 16M edges, 16 MiB of labels).
+	JSONLimits cdag.JSONLimits
+	// MaxBodyBytes bounds any request body (default 64 MiB).
+	MaxBodyBytes int64
+	// SolverLimit caps the cut solvers outstanding per Workspace; it also
+	// scales the footprint estimate used for cache admission (default
+	// GOMAXPROCS).
+	SolverLimit int
+	// HeavyInFlight/HeavyQueue gate the expensive engines (analyze, wmax,
+	// optimal) and graph ingestion (defaults 2 and 8).
+	HeavyInFlight, HeavyQueue int
+	// LightInFlight/LightQueue gate the cheap engines (defaults 16 and 64).
+	LightInFlight, LightQueue int
+	// DefaultDeadline applies when a request names none; MaxDeadline is the
+	// server-side hard cap on any request (defaults 30s and 2m).
+	DefaultDeadline, MaxDeadline time.Duration
+	// DrainTimeout bounds the graceful shutdown: in-flight requests get this
+	// long to finish before their contexts are force-cancelled (default 10s).
+	DrainTimeout time.Duration
+	// ShedThreshold is the light-class saturation fraction beyond which the
+	// heavy engines are shed with 503 (default 0.9); the cheap probes keep
+	// flowing while w^max scans wait out the storm.
+	ShedThreshold float64
+	// MaxSweepJobs bounds the jobs of one sweep request (default 256).
+	MaxSweepJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.CacheBudget <= 0 {
+		c.CacheBudget = 256 << 20
+	}
+	if c.JSONLimits == (cdag.JSONLimits{}) {
+		c.JSONLimits = cdag.JSONLimits{MaxVertices: 2 << 20, MaxEdges: 16 << 20, MaxLabelBytes: 16 << 20}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.SolverLimit <= 0 {
+		c.SolverLimit = runtime.GOMAXPROCS(0)
+	}
+	if c.HeavyInFlight <= 0 {
+		c.HeavyInFlight = 2
+	}
+	if c.HeavyQueue < 0 {
+		c.HeavyQueue = 0
+	} else if c.HeavyQueue == 0 {
+		c.HeavyQueue = 8
+	}
+	if c.LightInFlight <= 0 {
+		c.LightInFlight = 16
+	}
+	if c.LightQueue == 0 {
+		c.LightQueue = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.ShedThreshold <= 0 || c.ShedThreshold > 1 {
+		c.ShedThreshold = 0.9
+	}
+	if c.MaxSweepJobs <= 0 {
+		c.MaxSweepJobs = 256
+	}
+	return c
+}
+
+// Server is the cdagd daemon: Workspace cache, admission gates and HTTP
+// surface.  Create one with New, mount Handler on any HTTP server or call
+// Run for the full lifecycle including graceful drain.
+type Server struct {
+	cfg      Config
+	cache    *wsCache
+	heavy    *gate
+	light    *gate
+	draining atomic.Bool
+	lastErr  atomic.Value // string: most recent internal-class error detail
+}
+
+// New returns a Server with cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newWSCache(cfg.CacheBudget),
+		heavy: newGate("heavy", cfg.HeavyInFlight, cfg.HeavyQueue),
+		light: newGate("light", cfg.LightInFlight, cfg.LightQueue),
+	}
+	s.lastErr.Store("")
+	return s
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET  /healthz                  liveness + load metrics (always 200)
+//	GET  /readyz                   readiness (503 while draining)
+//	POST /v1/graphs                ingest a graph or generator spec
+//	GET  /v1/graphs/{id}           metadata of a cached graph
+//	POST /v1/graphs/{id}/{engine}  run an engine (?deadline_ms= caps it)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.recovering(s.handleHealthz))
+	mux.HandleFunc("/readyz", s.recovering(s.handleReadyz))
+	mux.HandleFunc("/v1/graphs", s.recovering(s.handleUpload))
+	mux.HandleFunc("/v1/graphs/", s.recovering(s.handleGraph))
+	return mux
+}
+
+// recovering wraps a handler so a panic on the handler goroutine itself
+// (worker-goroutine panics are already converted to errors at their source)
+// becomes a structured 500 instead of killing the connection.
+func (s *Server) recovering(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.writeError(w, internalf("handler panic: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	graphs, used, budget := s.cache.stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"heavy":  map[string]any{"in_flight": s.heavy.inFlight(), "queued": s.heavy.queued()},
+		"light":  map[string]any{"in_flight": s.light.inFlight(), "queued": s.light.queued()},
+		"cache": map[string]any{
+			"graphs": graphs, "used_bytes": used, "budget_bytes": budget,
+		},
+		"last_error": s.lastErr.Load().(string),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, shedf(s.cfg.DrainTimeout, "draining"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// handleUpload is POST /v1/graphs: decode, validate, hash, open a Workspace
+// and admit it into the byte-budgeted cache.  Ingestion rides the heavy gate
+// — building and validating a million-vertex graph costs like an engine run.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, notFoundf("%s %s", r.Method, r.URL.Path))
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, shedf(s.cfg.DrainTimeout, "draining"))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, classify(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, aerr := s.heavy.acquire(ctx)
+	if aerr != nil {
+		s.writeError(w, classify(aerr))
+		return
+	}
+	defer release()
+
+	g, id, ierr := s.ingestGraph(body)
+	if ierr != nil {
+		s.writeError(w, classify(ierr))
+		return
+	}
+	if e := s.cache.get(id); e != nil {
+		defer s.cache.release(e)
+		s.writeJSON(w, http.StatusOK, s.graphInfo(e, true))
+		return
+	}
+	ws := core.NewWorkspace(g)
+	ws.SetSolverLimit(s.cfg.SolverLimit)
+	e, cerr := s.cache.add(id, ws, ws.FootprintBytes(s.cfg.SolverLimit))
+	if cerr != nil {
+		s.writeError(w, classify(cerr))
+		return
+	}
+	defer s.cache.release(e)
+	s.writeJSON(w, http.StatusCreated, s.graphInfo(e, false))
+}
+
+// handleGraph routes /v1/graphs/{id} and /v1/graphs/{id}/{engine}.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	id, engine, hasEngine := strings.Cut(rest, "/")
+	if id == "" || strings.Contains(engine, "/") {
+		s.writeError(w, notFoundf("%s", r.URL.Path))
+		return
+	}
+	if !hasEngine {
+		if r.Method != http.MethodGet {
+			s.writeError(w, notFoundf("%s %s", r.Method, r.URL.Path))
+			return
+		}
+		e := s.cache.get(id)
+		if e == nil {
+			s.writeError(w, notFoundf("graph %s not cached (evicted or never uploaded)", id))
+			return
+		}
+		defer s.cache.release(e)
+		s.writeJSON(w, http.StatusOK, s.graphInfo(e, true))
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeError(w, notFoundf("%s %s", r.Method, r.URL.Path))
+		return
+	}
+	s.handleEngine(w, r, id, engine)
+}
+
+// handleEngine is POST /v1/graphs/{id}/{engine}: the admission, memoization
+// and panic-isolation pipeline around runEngine.
+func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request, id, engine string) {
+	class, known := engines[engine]
+	if !known {
+		s.writeError(w, notFoundf("unknown engine %q", engine))
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, shedf(s.cfg.DrainTimeout, "draining"))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, classify(err))
+		return
+	}
+
+	e := s.cache.get(id)
+	if e == nil {
+		s.writeError(w, notFoundf("graph %s not cached (evicted or never uploaded)", id))
+		return
+	}
+	defer s.cache.release(e)
+
+	// Memoized responses replay without an admission slot: the engines are
+	// deterministic, so a repeated request is a cache read, and cached reads
+	// keep flowing even when the compute queues are saturated.
+	reqHash := requestHash(engine, body)
+	if cached, ok := s.cache.memoGet(e, reqHash); ok {
+		w.Header().Set("X-Cdagd-Memo", "hit")
+		s.writeRaw(w, http.StatusOK, cached)
+		return
+	}
+
+	// Degradation order: shed the expensive engines first.  While the cheap
+	// class is saturated past the threshold, heavy requests get an immediate
+	// 503 + Retry-After instead of competing for the machine.
+	if class == classHeavy && s.light.saturated(s.cfg.ShedThreshold) {
+		s.writeError(w, shedf(s.light.retryAfter(), "shedding %s: light engine class saturated", engine))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	g := s.light
+	if class == classHeavy {
+		g = s.heavy
+	}
+	release, aerr := g.acquire(ctx)
+	if aerr != nil {
+		s.writeError(w, classify(aerr))
+		return
+	}
+	defer release()
+
+	payload, rerr := s.runEngine(ctx, e.ws, engine, body)
+	if rerr != nil {
+		s.writeError(w, classify(rerr))
+		return
+	}
+	buf, merr := json.Marshal(payload)
+	if merr != nil {
+		s.writeError(w, internalf("marshal response: %v", merr))
+		return
+	}
+	s.cache.memoPut(e, reqHash, buf)
+	s.writeRaw(w, http.StatusOK, buf)
+}
+
+// requestContext derives the request's context with its effective deadline:
+// the ?deadline_ms= parameter when present, the server default otherwise,
+// both capped by the server-side maximum.  The base context is the request's
+// own, which the server's BaseContext ties to the daemon lifecycle — a
+// forced shutdown cancels every in-flight engine.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, limitf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, invalidf("read body: %v", err)
+	}
+	return body, nil
+}
+
+func (s *Server) graphInfo(e *wsEntry, cached bool) map[string]any {
+	g := e.ws.Graph()
+	return map[string]any{
+		"id":              e.id,
+		"name":            g.Name(),
+		"vertices":        g.NumVertices(),
+		"edges":           g.NumEdges(),
+		"inputs":          g.NumInputs(),
+		"outputs":         g.NumOutputs(),
+		"footprint_bytes": e.footprint,
+		"cached":          cached,
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, payload any) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		s.writeError(w, internalf("marshal response: %v", err))
+		return
+	}
+	s.writeRaw(w, status, buf)
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, status int, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+// writeError renders a classified error: its HTTP status, a Retry-After
+// header when the taxonomy calls for one, and a JSON body with the stable
+// class key.  Internal-class errors are additionally recorded as the
+// daemon's last error for /healthz.
+func (s *Server) writeError(w http.ResponseWriter, e *Error) {
+	if errors.Is(e.Class, ErrInternal) {
+		s.lastErr.Store(e.Error())
+	}
+	if e.Retry > 0 {
+		secs := int64(e.Retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	body := map[string]any{"error": map[string]any{
+		"class":  classKey(e),
+		"detail": e.Detail,
+	}}
+	if e.Retry > 0 {
+		body["error"].(map[string]any)["retry_after_ms"] = e.Retry.Milliseconds()
+	}
+	buf, _ := json.Marshal(body)
+	s.writeRaw(w, httpStatus(e), buf)
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains:
+// the listener closes, in-flight requests get DrainTimeout to finish, and
+// whatever is still running afterwards has its context force-cancelled (the
+// engines all honor cancellation promptly).  Returns nil on a clean drain.
+// ready, when non-nil, is called with the bound address once listening.
+func (s *Server) Run(ctx context.Context, ready func(addr net.Addr)) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the daemon on an existing listener; see Run.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Every request context descends from lifeCtx, so the forced phase of the
+	// drain cancels whatever Shutdown's grace period could not wait out.
+	lifeCtx, forceCancel := context.WithCancel(context.Background())
+	defer forceCancel()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return lifeCtx },
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := hs.Shutdown(shCtx)
+		if err != nil {
+			// Grace period expired with requests still running: cancel their
+			// contexts and close the connections out from under them.
+			forceCancel()
+			err = hs.Close()
+		}
+		done <- err
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}

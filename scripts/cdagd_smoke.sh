@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the cdagd daemon: build it, start it, upload a graph,
+# run an analysis against it, then SIGTERM it and require a clean drain with
+# exit status 0.  This is the CI gate for the serving layer's lifecycle —
+# the in-process tests cover the hard cases (fault injection, backpressure),
+# this proves the shipped binary actually boots, serves and dies gracefully.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/cdagd" ./cmd/cdagd
+
+"$workdir/cdagd" -addr 127.0.0.1:0 >"$workdir/out.log" 2>&1 &
+pid=$!
+
+# The daemon prints "cdagd: listening on http://HOST:PORT" once bound.
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's#^cdagd: listening on \(http://[0-9.:]*\)$#\1#p' "$workdir/out.log" || true)"
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "cdagd died on startup:"; cat "$workdir/out.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "cdagd never reported its address:"; cat "$workdir/out.log"; exit 1; }
+echo "daemon at $base"
+
+fail() { echo "$1"; kill "$pid" 2>/dev/null || true; exit 1; }
+
+curl -sf "$base/healthz" >/dev/null || fail "healthz unreachable"
+curl -sf "$base/readyz" >/dev/null || fail "readyz not ready"
+
+# Upload a generator graph and pull its content-hash ID out of the response.
+id="$(curl -sf -X POST "$base/v1/graphs" -d '{"gen":{"kind":"tree","n":64}}' \
+    | sed -n 's/.*"id":"\(sha256:[0-9a-f]*\)".*/\1/p')"
+[ -n "$id" ] || fail "upload returned no graph ID"
+echo "graph $id"
+
+# Run a full analysis and check it reports a measured I/O.
+analysis="$(curl -sf -X POST "$base/v1/graphs/$id/analyze" -d '{"s":4}')" \
+    || fail "analyze request failed"
+echo "$analysis" | grep -q '"measured_io"' || fail "analysis has no measured_io: $analysis"
+
+# A malformed request must be a structured 400, not a crash.
+status="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/graphs/$id/wavefront" -d '{"vertex":-5}')"
+[ "$status" = "400" ] || fail "bad request returned $status, want 400"
+curl -sf "$base/healthz" >/dev/null || fail "daemon unhealthy after bad request"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "cdagd exited non-zero after SIGTERM:"; cat "$workdir/out.log"; exit 1
+fi
+grep -q "drained cleanly" "$workdir/out.log" || { echo "no clean-drain message:"; cat "$workdir/out.log"; exit 1; }
+echo "cdagd smoke OK"
