@@ -179,15 +179,21 @@ func (w *Workspace) OptimalIO(ctx context.Context, variant pebble.Variant, s int
 }
 
 // Play executes a vertex schedule as a complete sequential pebble game; a nil
-// order selects the workspace's memoized topological schedule.  The player is
-// fast and deterministic, so it takes no context — wrap long experiment loops
-// in SimulateSweep or check your context between plays instead.
+// order selects the workspace's memoized topological schedule.  Play never
+// cancels; callers serving request traffic should use PlayCtx so deadlines
+// and forced drains reach long plays on large graphs.
 func (w *Workspace) Play(variant pebble.Variant, s int, order []cdag.VertexID,
+	policy pebble.EvictionPolicy, record bool) (pebble.Result, error) {
+	return w.PlayCtx(context.Background(), variant, s, order, policy, record)
+}
+
+// PlayCtx is Play bounded by ctx (checked every 4096 schedule steps).
+func (w *Workspace) PlayCtx(ctx context.Context, variant pebble.Variant, s int, order []cdag.VertexID,
 	policy pebble.EvictionPolicy, record bool) (pebble.Result, error) {
 	if order == nil {
 		order = w.topoSchedule()
 	}
-	return pebble.PlaySchedule(w.g, variant, s, order, policy, record)
+	return pebble.PlayScheduleCtx(ctx, w.g, variant, s, order, policy, record)
 }
 
 // PlayParallel executes an assignment as a complete P-RBW game on the given
@@ -329,7 +335,7 @@ func (w *Workspace) Analyze(ctx context.Context, opts Options) (*Analysis, error
 	} else {
 		scheduleName = "caller-supplied"
 	}
-	res, err := pebble.PlaySchedule(g, pebble.RBW, s, order, pebble.Belady, false)
+	res, err := pebble.PlayScheduleCtx(ctx, g, pebble.RBW, s, order, pebble.Belady, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule playback failed: %w", err)
 	}

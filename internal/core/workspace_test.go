@@ -51,6 +51,18 @@ func TestWorkspacePreCancelled(t *testing.T) {
 	if st, err := ws.PlayParallel(ctx, prbw.TwoLevel(2, 8, 1<<20), prbw.SingleProcessor(g)); !errors.Is(err, context.Canceled) || st != nil {
 		t.Fatalf("PlayParallel: (%v, %v), want (nil, context.Canceled)", st, err)
 	}
+	if res, err := ws.PlayCtx(ctx, pebble.RBW, 4, nil, pebble.Belady, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlayCtx: (%v, %v), want context.Canceled", res, err)
+	}
+	// A cancelled PlayCtx leaves the workspace serving bit-identically.
+	want, err := ws.Play(pebble.RBW, 4, nil, pebble.Belady, false)
+	if err != nil {
+		t.Fatalf("Play after cancelled PlayCtx: %v", err)
+	}
+	got, err := ws.PlayCtx(context.Background(), pebble.RBW, 4, nil, pebble.Belady, false)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlayCtx diverges from Play: (%+v, %v) vs %+v", got, err, want)
+	}
 }
 
 // TestWorkspaceAnalyzeEquivalence proves the context-first path bit-identical

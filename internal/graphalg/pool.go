@@ -131,7 +131,14 @@ func (p *SolverPool) Discard(cs *CutSolver) {
 // Workspace's cache admission; it is a planning estimate, not an accounting
 // of live allocations.
 func EstimateSolverFootprint(g *cdag.Graph) int64 {
-	v, e := int64(g.NumVertices()), int64(g.NumEdges())
+	return EstimateSolverFootprintCounts(int64(g.NumVertices()), int64(g.NumEdges()))
+}
+
+// EstimateSolverFootprintCounts is EstimateSolverFootprint for a graph that
+// has not been built yet, from its declared vertex and edge counts.  The
+// serving layer uses it to reject generator specs whose Workspace could
+// never be admitted, before allocating anything.
+func EstimateSolverFootprintCounts(v, e int64) int64 {
 	return 60*v + 30*e + 4096
 }
 

@@ -1,6 +1,7 @@
 package pebble
 
 import (
+	"context"
 	"fmt"
 
 	"cdagio/internal/cdag"
@@ -53,7 +54,19 @@ func (e *ScheduleError) Error() string { return "pebble: invalid schedule: " + e
 // a dense list so evictions scan occupancy instead of the whole vertex range.
 func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	policy EvictionPolicy, record bool) (Result, error) {
+	return PlayScheduleCtx(context.Background(), g, variant, s, order, policy, record)
+}
 
+// PlayScheduleCtx is PlaySchedule bounded by ctx: the player checks the
+// context on entry and every 4096 schedule steps (like prbw.PlayCtx and
+// memsim.RunCtx) and returns ctx.Err() once it is cancelled, so a serving
+// layer's deadlines and forced drain reach long plays on large graphs.
+func PlayScheduleCtx(ctx context.Context, g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
+	policy EvictionPolicy, record bool) (Result, error) {
+
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	// s reaches NewGame below, which treats a non-positive pebble budget as a
 	// programmer error and panics; on this path s is caller (request) data,
 	// so it must fail as an input error instead.
@@ -240,6 +253,11 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 
 	moves := 0
 	for i, v := range order {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// One row slice serves the pinning, fetching and dead-drop passes of
 		// this step — no repeated Pred calls inside the step.
 		preds := predVal[predOff[v]:predOff[v+1]]
@@ -310,7 +328,12 @@ func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 		}
 	}
 	if variant == RBW {
-		for _, v := range g.Inputs() {
+		for i, v := range g.Inputs() {
+			if i&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return Result{}, err
+				}
+			}
 			if game.HasWhite(v) {
 				continue
 			}

@@ -37,12 +37,21 @@ func newGate(name string, inFlight, queueDepth int) *gate {
 // success the returned release function MUST be called exactly once when the
 // request finishes.  Waiting in the queue respects ctx: a caller whose
 // deadline expires while queued gets a deadline error, not a slot.
+//
+// Admission is queue-first: a newcomer takes the fast path only while the
+// queue is empty; otherwise it joins the queue behind the existing waiters.
+// Waiters all block sending on g.slots, and the runtime completes blocked
+// channel senders in FIFO order on every release, so under sustained load
+// slots are handed to the longest-waiting request instead of letting
+// brand-new arrivals race past the queue until its deadlines expire.
 func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	release = func() { <-g.slots }
-	select {
-	case g.slots <- struct{}{}:
-		return release, nil
-	default:
+	if len(g.queue) == 0 {
+		select {
+		case g.slots <- struct{}{}:
+			return release, nil
+		default:
+		}
 	}
 	select {
 	case g.queue <- struct{}{}:

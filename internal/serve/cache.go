@@ -138,9 +138,12 @@ func (c *wsCache) memoGet(e *wsEntry, reqHash string) ([]byte, bool) {
 }
 
 // memoPut records a finished response body under its request hash, charging
-// it to the cache budget.  Oversized bodies and bodies that no longer fit
-// after evicting unpinned siblings are simply not memoized — memoization is
-// an optimization, never a reason to fail a request that already succeeded.
+// it to the cache budget.  Memoization is strictly best-effort and never
+// evicts: a body that is oversized, or that does not fit in the budget's
+// current free space, is simply not memoized — a response replay is never
+// worth dropping a live Workspace, and a request that already succeeded
+// never fails here.  Memo space frees up again when its entry's Workspace
+// is evicted or the budget otherwise drains.
 func (c *wsCache) memoPut(e *wsEntry, reqHash string, body []byte) {
 	n := int64(len(body))
 	if n > c.maxMemoEntry {

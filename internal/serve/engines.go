@@ -267,7 +267,7 @@ func (s *Server) runEngine(ctx context.Context, ws *core.Workspace, engine strin
 				return nil, err
 			}
 		}
-		res, err := ws.Play(variant, req.S, order, policy, false)
+		res, err := ws.PlayCtx(ctx, variant, req.S, order, policy, false)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@ import (
 
 	"cdagio/internal/cdag"
 	"cdagio/internal/gen"
+	"cdagio/internal/graphalg"
 )
 
 // uploadRequest is the body of POST /v1/graphs: exactly one of Graph (an
@@ -32,6 +33,147 @@ type genSpec struct {
 	Steps      int    `json:"steps,omitempty"`
 	Iterations int    `json:"iterations,omitempty"`
 	Stencil    string `json:"stencil,omitempty"` // "star" (default) or "box"
+}
+
+// satCap bounds every value in the generator size estimates: large enough
+// that no admissible graph is anywhere near it, small enough that the
+// downstream footprint arithmetic (per-vertex byte costs times a solver
+// count) cannot overflow int64.
+const satCap = int64(1) << 40
+
+// satMul and satAdd are the saturating arithmetic of the size estimates:
+// negative operands clamp to zero (out-of-domain parameters are the
+// generator's 400 to report, not a 413), and anything at or beyond satCap
+// stays pinned there.
+func satMul(a, b int64) int64 {
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	if a > 0 && b > satCap/a {
+		return satCap
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	if a+b > satCap {
+		return satCap
+	}
+	return a + b
+}
+
+// satPow returns base^exp, saturating.
+func satPow(base, exp int64) int64 {
+	p := int64(1)
+	for i := int64(0); i < exp; i++ {
+		p = satMul(p, base)
+	}
+	return p
+}
+
+// genLabelBytesPerVertex approximates the label payload of the generators
+// ("u12[3456]"-style names) for the pre-build footprint estimate.
+const genLabelBytesPerVertex = 12
+
+// genEstimate returns saturating upper bounds on the vertex and edge counts
+// the spec would materialize, without building anything.  Unknown kinds and
+// out-of-domain parameters estimate as zero — buildGen rejects those with a
+// 400 — so the only job here is making sure a syntactically healthy spec
+// whose *size* is hostile never reaches an allocation.
+func genEstimate(spec *genSpec) (v, e int64) {
+	n, k, h := int64(spec.N), int64(spec.K), int64(spec.H)
+	dim, steps, iter := int64(spec.Dim), int64(spec.Steps), int64(spec.Iterations)
+	switch strings.ToLower(spec.Kind) {
+	case "chain":
+		return n, n
+	case "chains":
+		return satMul(k, n), satMul(k, n)
+	case "tree":
+		return satMul(2, n), satMul(2, n)
+	case "dot":
+		return satMul(4, n), satMul(4, n)
+	case "saxpy":
+		return satAdd(satMul(4, n), 1), satMul(4, n)
+	case "outer":
+		return satAdd(satMul(2, n), satMul(n, n)), satMul(2, satMul(n, n))
+	case "matmul":
+		n3 := satPow(n, 3)
+		return satAdd(satMul(2, satMul(n, n)), satMul(2, n3)), satMul(4, n3)
+	case "composite":
+		n3 := satPow(n, 3)
+		v = satAdd(satMul(4, n), satAdd(satMul(3, satMul(n, n)), satMul(2, n3)))
+		return v, satAdd(satMul(4, satMul(n, n)), satMul(4, n3))
+	case "fft":
+		stages := int64(0)
+		for s := n; s > 1; s >>= 1 {
+			stages++
+		}
+		return satMul(n, stages+1), satMul(2, satMul(n, stages))
+	case "binomial":
+		if spec.K < 0 || spec.K > 20 {
+			return 0, 0 // generator domain error, reported as 400
+		}
+		leaves := int64(1) << uint(spec.K)
+		return satMul(leaves, k+1), satMul(k, satMul(2, leaves))
+	case "pyramid":
+		rows := satAdd(h, 1)
+		return satMul(rows, satAdd(h, 2)) / 2, satMul(h, rows)
+	case "heat":
+		return satMul(n, satAdd(satMul(3, steps), 1)), satMul(steps, satMul(7, n))
+	case "jacobi":
+		np := satPow(n, dim)
+		nbr := satAdd(satMul(2, dim), 1) // star stencil
+		if strings.EqualFold(spec.Stencil, "box") {
+			nbr = satPow(3, dim)
+		}
+		return satMul(np, satAdd(steps, 1)), satMul(steps, satMul(np, nbr))
+	case "cg":
+		np := satPow(n, dim)
+		v = satAdd(satMul(3, np), satMul(iter, satAdd(satMul(10, np), 2)))
+		return v, satMul(iter, satMul(np, satAdd(20, satMul(2, dim))))
+	case "gmres":
+		np := satPow(n, dim)
+		m2 := satMul(iter, iter)
+		v = satMul(np, satAdd(satAdd(m2, satMul(6, iter)), 1))
+		e = satMul(np, satAdd(satMul(iter, satAdd(8, satMul(2, dim))), satMul(3, satMul(iter, satAdd(iter, 1)))))
+		return v, e
+	default:
+		return 0, 0
+	}
+}
+
+// checkGenSpec rejects a generator spec whose declared size violates the
+// upload limits or whose estimated Workspace footprint cannot fit the cache
+// budget — before a single vertex is allocated.  This is the same admission
+// contract inline uploads get from ReadJSONLimits plus cache.add: a
+// two-line request body must not be able to OOM the daemon by naming a
+// tens-of-gigabytes generator.  The post-build cache admission still runs
+// on the exact footprint; this pre-check only has to be safely conservative.
+func (s *Server) checkGenSpec(spec *genSpec) error {
+	v, e := genEstimate(spec)
+	lim := s.cfg.JSONLimits
+	if lim.MaxVertices > 0 && v > int64(lim.MaxVertices) {
+		return limitf("generator %q: ~%d vertices exceeds limit %d", spec.Kind, v, lim.MaxVertices)
+	}
+	if lim.MaxEdges > 0 && e > int64(lim.MaxEdges) {
+		return limitf("generator %q: ~%d edges exceeds limit %d", spec.Kind, e, lim.MaxEdges)
+	}
+	fp := cdag.EstimateFootprintBytes(int(v), int(e), satMul(v, genLabelBytesPerVertex)) +
+		int64(s.cfg.SolverLimit)*graphalg.EstimateSolverFootprintCounts(v, e)
+	if fp > s.cfg.CacheBudget {
+		return limitf("generator %q: estimated footprint %d bytes exceeds cache budget %d bytes",
+			spec.Kind, fp, s.cfg.CacheBudget)
+	}
+	return nil
 }
 
 // buildGen constructs the named generator graph.  The generators enforce
@@ -166,6 +308,9 @@ func (s *Server) ingestGraph(body []byte) (*cdag.Graph, string, error) {
 		identity []byte
 	)
 	if req.Gen != nil {
+		if err := s.checkGenSpec(req.Gen); err != nil {
+			return nil, "", err
+		}
 		var err error
 		if g, err = buildGen(req.Gen); err != nil {
 			return nil, "", err

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGenEstimateIsUpperBound builds a small instance of every generator kind
+// and checks the pre-build size estimate dominates the real counts: the
+// estimate's only job is to be safely conservative, so it must never be
+// smaller than what the generator actually materializes (or admission would
+// wrongly 413 graphs that fit).
+func TestGenEstimateIsUpperBound(t *testing.T) {
+	specs := []genSpec{
+		{Kind: "chain", N: 9},
+		{Kind: "chains", K: 3, N: 4},
+		{Kind: "tree", N: 9},
+		{Kind: "dot", N: 9},
+		{Kind: "saxpy", N: 9},
+		{Kind: "outer", N: 5},
+		{Kind: "matmul", N: 4},
+		{Kind: "composite", N: 3},
+		{Kind: "fft", N: 16},
+		{Kind: "binomial", K: 4},
+		{Kind: "pyramid", H: 5},
+		{Kind: "heat", N: 5, Steps: 3},
+		{Kind: "jacobi", Dim: 2, N: 4, Steps: 2},
+		{Kind: "jacobi", Dim: 2, N: 4, Steps: 2, Stencil: "box"},
+		{Kind: "cg", Dim: 2, N: 3, Iterations: 2},
+		{Kind: "gmres", Dim: 2, N: 3, Iterations: 2},
+	}
+	for i := range specs {
+		spec := &specs[i]
+		g, err := buildGen(spec)
+		if err != nil {
+			t.Fatalf("%s: buildGen: %v", genKey(spec), err)
+		}
+		v, e := genEstimate(spec)
+		if int64(g.NumVertices()) > v || int64(g.NumEdges()) > e {
+			t.Errorf("%s: built %d vertices / %d edges but estimated only %d / %d — the estimate must be an upper bound",
+				genKey(spec), g.NumVertices(), g.NumEdges(), v, e)
+		}
+	}
+}
+
+// TestGenSpecRejectedBeforeBuild feeds tiny request bodies naming enormous
+// generators through ingestGraph under the default limits: each must be
+// rejected as a resource limit by the declared-size pre-check, before a
+// single vertex is allocated (if the check were missing, several of these
+// would allocate tens of gigabytes and OOM the test).
+func TestGenSpecRejectedBeforeBuild(t *testing.T) {
+	s := New(Config{})
+	for _, body := range []string{
+		`{"gen":{"kind":"chain","n":2000000000}}`,
+		`{"gen":{"kind":"chains","k":2000000000,"n":2000000000}}`,
+		`{"gen":{"kind":"matmul","n":2000000}}`,
+		`{"gen":{"kind":"composite","n":2000000}}`,
+		`{"gen":{"kind":"outer","n":2000000000}}`,
+		`{"gen":{"kind":"fft","n":1073741824}}`,
+		`{"gen":{"kind":"jacobi","dim":3,"n":4000,"steps":100}}`,
+		`{"gen":{"kind":"jacobi","dim":9,"n":30,"steps":5,"stencil":"box"}}`,
+		`{"gen":{"kind":"heat","n":2000000000,"steps":2000000000}}`,
+		`{"gen":{"kind":"cg","dim":3,"n":1000,"iterations":1000}}`,
+		`{"gen":{"kind":"gmres","dim":3,"n":500,"iterations":1000}}`,
+	} {
+		_, _, err := s.ingestGraph([]byte(body))
+		var se *Error
+		if !errors.As(err, &se) || !errors.Is(se.Class, ErrResourceLimit) {
+			t.Errorf("%s: err %v, want ErrResourceLimit", body, err)
+		}
+	}
+}
+
+// TestGenSpecFootprintRejection: a spec within the vertex/edge limits but
+// whose estimated Workspace footprint exceeds the cache budget is rejected
+// up front, mirroring the post-build cache admission.
+func TestGenSpecFootprintRejection(t *testing.T) {
+	s := New(Config{CacheBudget: 64 << 10, SolverLimit: 1})
+	_, _, err := s.ingestGraph([]byte(`{"gen":{"kind":"jacobi","dim":2,"n":64,"steps":16}}`))
+	var se *Error
+	if !errors.As(err, &se) || !errors.Is(se.Class, ErrResourceLimit) {
+		t.Fatalf("footprint over budget: err %v, want ErrResourceLimit", err)
+	}
+	// A small spec under the same budget still ingests.
+	if _, _, err := s.ingestGraph([]byte(`{"gen":{"kind":"chain","n":64}}`)); err != nil {
+		t.Fatalf("small spec under tight budget: %v", err)
+	}
+}

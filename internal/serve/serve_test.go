@@ -148,6 +148,8 @@ func TestErrorTaxonomy(t *testing.T) {
 		{"unknown generator", "POST", "/v1/graphs", `{"gen":{"kind":"mystery","n":4}}`, 400, "invalid_input"},
 		{"generator panic", "POST", "/v1/graphs", `{"gen":{"kind":"chain","n":0}}`, 400, "invalid_input"},
 		{"oversized upload", "POST", "/v1/graphs", `{"graph":{"vertices":100000,"edges":[],"inputs":[],"outputs":[]}}`, 413, "resource_limit"},
+		{"oversized gen spec", "POST", "/v1/graphs", `{"gen":{"kind":"chain","n":2000000000}}`, 413, "resource_limit"},
+		{"oversized gen matmul", "POST", "/v1/graphs", `{"gen":{"kind":"matmul","n":100000}}`, 413, "resource_limit"},
 		{"cyclic graph", "POST", "/v1/graphs", `{"graph":{"vertices":2,"edges":[[0,1],[1,0]],"inputs":[],"outputs":[1]}}`, 400, "invalid_input"},
 		{"edge out of range", "POST", "/v1/graphs", `{"graph":{"vertices":2,"edges":[[0,7]],"inputs":[0],"outputs":[1]}}`, 400, "invalid_input"},
 		{"unknown graph", "POST", "/v1/graphs/sha256:beef/wmax", `{}`, 404, "not_found"},
@@ -316,6 +318,52 @@ func TestAdmissionControl(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatal("parked sweeps never completed")
 		}
+	}
+}
+
+// TestNoQueueRejectsImmediately: a negative queue depth disables queueing,
+// so the moment the in-flight slots are taken, further requests in the class
+// get an immediate 429 instead of parking until their deadlines.
+func TestNoQueueRejectsImmediately(t *testing.T) {
+	_, hs := testServer(t, Config{LightInFlight: 1, LightQueue: -1})
+	id := upload(t, hs.URL, `{"gen":{"kind":"chain","n":32}}`)
+	sweepURL := hs.URL + "/v1/graphs/" + id + "/sweep"
+
+	entered := make(chan struct{}, 1)
+	block := make(chan struct{})
+	restore := FaultPoint(func(point string) {
+		if point == "memsim.sweep.worker" {
+			entered <- struct{}{}
+			<-block
+		}
+	})
+	defer restore()
+
+	done := make(chan result2, 1)
+	go func() {
+		status, _, raw := rawPost(sweepURL+"?deadline_ms=30000", `{"jobs":[{"nodes":1,"fast_words":4}]}`)
+		done <- result2{status, raw}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first sweep never reached the worker")
+	}
+
+	status, hdr, payload := do(t, "POST", sweepURL, `{"jobs":[{"nodes":1,"fast_words":8}]}`)
+	if status != http.StatusTooManyRequests || errClass(t, payload) != "overloaded" || hdr.Get("Retry-After") == "" {
+		t.Fatalf("no-queue overflow: status %d class %q Retry-After %q, want immediate 429",
+			status, errClass(t, payload), hdr.Get("Retry-After"))
+	}
+
+	close(block)
+	select {
+	case r := <-done:
+		if r.status != http.StatusOK {
+			t.Fatalf("parked sweep: status %d body %s", r.status, r.raw)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked sweep never completed")
 	}
 }
 

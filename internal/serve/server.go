@@ -59,9 +59,13 @@ type Config struct {
 	// GOMAXPROCS).
 	SolverLimit int
 	// HeavyInFlight/HeavyQueue gate the expensive engines (analyze, wmax,
-	// optimal) and graph ingestion (defaults 2 and 8).
+	// optimal) and graph ingestion (defaults 2 and 8).  For both queue
+	// depths, zero selects the default and a negative depth disables
+	// queueing entirely: requests beyond the in-flight cap are rejected
+	// immediately with 429.
 	HeavyInFlight, HeavyQueue int
-	// LightInFlight/LightQueue gate the cheap engines (defaults 16 and 64).
+	// LightInFlight/LightQueue gate the cheap engines (defaults 16 and 64);
+	// the queue depth follows the same zero-default/negative-disable rule.
 	LightInFlight, LightQueue int
 	// DefaultDeadline applies when a request names none; MaxDeadline is the
 	// server-side hard cap on any request (defaults 30s and 2m).
@@ -96,17 +100,11 @@ func (c Config) withDefaults() Config {
 	if c.HeavyInFlight <= 0 {
 		c.HeavyInFlight = 2
 	}
-	if c.HeavyQueue < 0 {
-		c.HeavyQueue = 0
-	} else if c.HeavyQueue == 0 {
-		c.HeavyQueue = 8
-	}
+	c.HeavyQueue = queueDepth(c.HeavyQueue, 8)
 	if c.LightInFlight <= 0 {
 		c.LightInFlight = 16
 	}
-	if c.LightQueue == 0 {
-		c.LightQueue = 64
-	}
+	c.LightQueue = queueDepth(c.LightQueue, 64)
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
 	}
@@ -123,6 +121,20 @@ func (c Config) withDefaults() Config {
 		c.MaxSweepJobs = 256
 	}
 	return c
+}
+
+// queueDepth resolves a configured admission-queue depth: zero selects the
+// default, negative means "no queue" (normalized to zero), positive passes
+// through.  Both engine classes use the same rule.
+func queueDepth(n, def int) int {
+	switch {
+	case n == 0:
+		return def
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
 }
 
 // Server is the cdagd daemon: Workspace cache, admission gates and HTTP
