@@ -17,6 +17,12 @@
 //	GET  /v1/graphs/{id}           metadata of a cached graph
 //	POST /v1/graphs/{id}/{engine}  run an engine (?deadline_ms= caps it)
 //
+// With -store-dir the daemon is additionally crash-safe across restarts:
+// accepted graphs and memoized responses are journaled to an append-only
+// checksummed log before they are acknowledged, and a restart on the same
+// directory replays them (recovery truncates torn tails and skips corrupt
+// records with counters on /healthz; /readyz gates until replay finishes).
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
 // requests get -drain to finish, stragglers are force-cancelled through
 // their contexts, and the process exits 0 on a clean drain.
@@ -48,25 +54,50 @@ func main() {
 		deadline = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		maxDl    = flag.Duration("max-deadline", 2*time.Minute, "hard cap on any request deadline")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		storeDir = flag.String("store-dir", "", "directory for the crash-safe journal (empty = pure in-memory)")
+		fsync    = flag.Bool("fsync", true, "fsync journal appends (with -store-dir; false trades power-loss safety for speed)")
+		compact  = flag.Int64("compact-threshold", 64, "journal size in MiB beyond which background compaction runs")
+		memoMax  = flag.Int64("max-memo-bytes", 1<<20, "largest response body memoized (and journaled), in bytes")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Config{
-		Addr:            *addr,
-		CacheBudget:     *cacheMB << 20,
-		JSONLimits:      cdag.JSONLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges, MaxLabelBytes: 16 << 20},
-		SolverLimit:     *solvers,
-		HeavyInFlight:   *heavy,
-		LightInFlight:   *light,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDl,
-		DrainTimeout:    *drain,
+	if *memoMax <= 0 {
+		fmt.Fprintf(os.Stderr, "cdagd: -max-memo-bytes must be positive, got %d\n", *memoMax)
+		os.Exit(2)
+	}
+	if *memoMax > *cacheMB<<20 {
+		fmt.Fprintf(os.Stderr, "cdagd: -max-memo-bytes %d exceeds the cache budget %d\n", *memoMax, *cacheMB<<20)
+		os.Exit(2)
+	}
+	if *compact <= 0 {
+		fmt.Fprintf(os.Stderr, "cdagd: -compact-threshold must be positive MiB, got %d\n", *compact)
+		os.Exit(2)
+	}
+
+	s, err := serve.New(serve.Config{
+		Addr:             *addr,
+		CacheBudget:      *cacheMB << 20,
+		JSONLimits:       cdag.JSONLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges, MaxLabelBytes: 16 << 20},
+		SolverLimit:      *solvers,
+		HeavyInFlight:    *heavy,
+		LightInFlight:    *light,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDl,
+		DrainTimeout:     *drain,
+		MaxMemoEntry:     *memoMax,
+		StoreDir:         *storeDir,
+		NoFsync:          !*fsync,
+		CompactThreshold: *compact << 20,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdagd: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := s.Run(ctx, func(a net.Addr) {
+	err = s.Run(ctx, func(a net.Addr) {
 		fmt.Printf("cdagd: listening on http://%s\n", a)
 	})
 	if err != nil {

@@ -8,7 +8,9 @@
 // process.  Named fault points (Inject) are sprinkled at the same seams so
 // tests can force a panic or a stall inside any worker and assert that
 // exactly one request fails, with the process — and every cached Workspace —
-// intact.
+// intact.  The durable store adds its own points (store.append.fsync,
+// store.append.torn, store.compact.rename) so persistence tests can force
+// short writes, fsync failures and mid-compaction crashes.
 //
 // The hook is process-global and nil by default; Inject compiles to one
 // atomic load and a branch, so leaving the points in production code is free.
@@ -24,28 +26,67 @@ import (
 // crashed worker), block (to simulate a stall), or return normally.
 type Hook func(point string)
 
-// hook holds the installed Hook; the extra struct layer gives atomic.Value a
-// single consistent concrete type even when different func values are stored.
-var hook atomic.Value // holds hookBox
-
-type hookBox struct{ h Hook }
-
-// SetHook installs h as the process-wide fault hook and returns a function
-// restoring the previous hook.  Passing nil disables injection.  Intended for
-// tests; concurrent SetHook calls race on the restore order, so serialize
-// them (package tests naturally do).
-func SetHook(h Hook) (restore func()) {
-	prev, _ := hook.Load().(hookBox)
-	hook.Store(hookBox{h})
-	return func() { hook.Store(prev) }
+// frame is one installed hook: the function, its installation generation, the
+// frame it shadowed, and a retirement flag.  Frames form an immutable stack
+// (top points at the newest), so SetHook/restore pairs can nest — including
+// across goroutines — without a stale restore ever clobbering a newer hook.
+type frame struct {
+	h    Hook
+	gen  uint64
+	prev *frame
+	dead atomic.Bool
 }
 
-// Inject triggers the named fault point: it calls the installed hook, if any.
-// Call it at the top of worker loops and handler bodies — anywhere a test
-// should be able to force a failure.
+var (
+	top     atomic.Pointer[frame]
+	hookGen atomic.Uint64
+)
+
+// SetHook installs h as the innermost process-wide fault hook and returns a
+// function restoring the state it shadowed.  Passing nil masks injection (an
+// installed nil hook makes Inject a no-op for outer hooks too).  Intended for
+// tests.
+//
+// SetHook and its restores are race-safe: each call stamps a fresh generation
+// and pushes a frame with CAS; restore retires exactly the frame this call
+// installed and then pops every retired frame reachable from the top, again
+// with CAS.  Concurrent tests may therefore nest hooks freely — LIFO restore
+// order behaves like a stack, and an out-of-order restore retires its frame
+// in place (a deeper, still-active hook keeps winning) instead of reinstating
+// a hook that was already torn down.
+func SetHook(h Hook) (restore func()) {
+	f := &frame{h: h, gen: hookGen.Add(1)}
+	for {
+		old := top.Load()
+		f.prev = old
+		if top.CompareAndSwap(old, f) {
+			break
+		}
+	}
+	return func() {
+		f.dead.Store(true)
+		for {
+			t := top.Load()
+			if t == nil || !t.dead.Load() {
+				return
+			}
+			top.CompareAndSwap(t, t.prev)
+		}
+	}
+}
+
+// Inject triggers the named fault point: it calls the innermost live hook, if
+// any.  Call it at the top of worker loops and handler bodies — anywhere a
+// test should be able to force a failure.
 func Inject(point string) {
-	if b, _ := hook.Load().(hookBox); b.h != nil {
-		b.h(point)
+	for f := top.Load(); f != nil; f = f.prev {
+		if f.dead.Load() {
+			continue
+		}
+		if f.h != nil {
+			f.h(point)
+		}
+		return
 	}
 }
 

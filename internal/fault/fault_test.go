@@ -3,6 +3,8 @@ package fault
 import (
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -42,6 +44,51 @@ func TestInjectCallsHookAndRestores(t *testing.T) {
 	Inject("c") // no hook installed: must be a no-op
 	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
 		t.Fatalf("hook observed %v, want [a b]", got)
+	}
+}
+
+// TestSetHookNesting: hooks stack LIFO, and an out-of-order restore retires
+// its own frame without reinstating a hook that was torn down above it.
+func TestSetHookNesting(t *testing.T) {
+	var calls []string
+	r1 := SetHook(func(point string) { calls = append(calls, "a:"+point) })
+	r2 := SetHook(func(point string) { calls = append(calls, "b:"+point) })
+	Inject("x") // innermost hook wins
+	r1()        // out of order: b stays active, a is retired in place
+	Inject("y")
+	r2() // pops b, then the already-retired a
+	Inject("z")
+	if len(calls) != 2 || calls[0] != "b:x" || calls[1] != "b:y" {
+		t.Fatalf("hooks observed %v, want [b:x b:y]", calls)
+	}
+}
+
+// TestSetHookParallelRestore hammers SetHook/Inject/restore from many
+// goroutines at once.  Under -race this proves the CAS-based frame stack is
+// data-race free, and the final probe proves every goroutine's hook was fully
+// torn down regardless of restore interleaving.
+func TestSetHookParallelRestore(t *testing.T) {
+	var leaked atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				restore := SetHook(func(point string) { leaked.Add(1) })
+				Inject("spin")
+				restore()
+			}
+		}()
+	}
+	wg.Wait()
+	during := leaked.Load()
+	if during == 0 {
+		t.Fatal("no hook ever fired during the parallel phase")
+	}
+	Inject("after") // every frame is restored: must reach no hook
+	if leaked.Load() != during {
+		t.Fatalf("a hook survived its restore: %d fires after teardown", leaked.Load()-during)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"cdagio/internal/core"
@@ -16,6 +17,7 @@ type wsEntry struct {
 	footprint int64 // admission estimate: graph + solver-cap worth of solvers
 	refs      int   // in-flight requests pinning the entry against eviction
 	elem      *list.Element
+	doomed    bool // dropped while pinned: evict at the final release
 
 	memo      map[string][]byte // request hash -> rendered response body
 	memoBytes int64
@@ -40,14 +42,23 @@ type wsCache struct {
 	byID   map[string]*wsEntry
 
 	maxMemoEntry int64 // responses larger than this are not memoized
+
+	// Counters for /healthz.  memoEntries/memoBytesTotal mirror the per-entry
+	// memo accounting so occupancy is one lock away, not a full LRU walk.
+	memoHits, memoMisses, evictions int64
+	memoEntries                     int
+	memoBytesTotal                  int64
 }
 
-func newWSCache(budget int64) *wsCache {
+func newWSCache(budget, maxMemoEntry int64) *wsCache {
+	if maxMemoEntry <= 0 {
+		maxMemoEntry = 1 << 20
+	}
 	return &wsCache{
 		budget:       budget,
 		lru:          list.New(),
 		byID:         map[string]*wsEntry{},
-		maxMemoEntry: 1 << 20,
+		maxMemoEntry: maxMemoEntry,
 	}
 }
 
@@ -64,39 +75,61 @@ func (c *wsCache) get(id string) *wsEntry {
 	return e
 }
 
-// release unpins an entry obtained from get or add.
+// release unpins an entry obtained from get or add.  A doomed entry (dropped
+// while pinned) is evicted once its last pin goes away.
 func (c *wsCache) release(e *wsEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e.refs--
+	if e.doomed && e.refs == 0 && e.elem != nil {
+		c.evict(e)
+	}
 }
 
 // add admits a freshly opened Workspace under id, evicting unpinned entries
-// LRU-first until it fits, and returns the entry pinned.  If another request
-// raced us and the id is already resident, the existing entry wins (pinned)
-// and the caller's Workspace is dropped.  If the footprint cannot fit in the
-// budget even with every unpinned entry evicted, add rejects with a
-// resource-limit error and the Workspace is dropped.
-func (c *wsCache) add(id string, ws *core.Workspace, footprint int64) (*wsEntry, error) {
+// LRU-first until it fits, and returns the entry pinned, with inserted=true
+// iff this call put it there.  If another request raced us and the id is
+// already resident, the existing entry wins (pinned) and the caller's
+// Workspace is dropped.  If the footprint cannot fit in the budget even with
+// every unpinned entry evicted, add rejects with a resource-limit error and
+// the Workspace is dropped.
+func (c *wsCache) add(id string, ws *core.Workspace, footprint int64) (e *wsEntry, inserted bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e := c.byID[id]; e != nil {
 		e.refs++
 		c.lru.MoveToFront(e.elem)
-		return e, nil
+		return e, false, nil
 	}
 	if footprint > c.budget {
-		return nil, limitf("graph footprint %d bytes exceeds cache budget %d bytes", footprint, c.budget)
+		return nil, false, limitf("graph footprint %d bytes exceeds cache budget %d bytes", footprint, c.budget)
 	}
 	if !c.makeRoom(footprint) {
-		return nil, limitf("graph footprint %d bytes does not fit: %d of %d budget bytes pinned by in-flight requests",
+		return nil, false, limitf("graph footprint %d bytes does not fit: %d of %d budget bytes pinned by in-flight requests",
 			footprint, c.used, c.budget)
 	}
-	e := &wsEntry{id: id, ws: ws, footprint: footprint, refs: 1, memo: map[string][]byte{}}
+	e = &wsEntry{id: id, ws: ws, footprint: footprint, refs: 1, memo: map[string][]byte{}}
 	e.elem = c.lru.PushFront(e)
 	c.byID[id] = e
 	c.used += footprint
-	return e, nil
+	return e, true, nil
+}
+
+// drop removes an entry from the cache's key space immediately — new lookups
+// miss, new adds insert fresh — deferring the eviction itself to the final
+// release while in-flight requests still pin it.  This is the targeted
+// invalidation primitive: an entry that must stop being findable dies here
+// without yanking its Workspace out from under requests running against it.
+func (c *wsCache) drop(e *wsEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byID[e.id] == e {
+		delete(c.byID, e.id)
+	}
+	e.doomed = true
+	if e.refs == 0 && e.elem != nil {
+		c.evict(e)
+	}
 }
 
 // makeRoom evicts unpinned entries LRU-first until need bytes fit.  Caller
@@ -124,9 +157,15 @@ func (c *wsCache) oldestUnpinned() *wsEntry {
 
 // evict removes an entry.  Caller holds c.mu and guarantees refs == 0.
 func (c *wsCache) evict(e *wsEntry) {
+	if c.byID[e.id] == e {
+		delete(c.byID, e.id)
+	}
 	c.lru.Remove(e.elem)
-	delete(c.byID, e.id)
+	e.elem = nil
 	c.used -= e.footprint + e.memoBytes
+	c.memoEntries -= len(e.memo)
+	c.memoBytesTotal -= e.memoBytes
+	c.evictions++
 }
 
 // memoGet returns the memoized response body for a request hash, if present.
@@ -134,37 +173,119 @@ func (c *wsCache) memoGet(e *wsEntry, reqHash string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	body, ok := e.memo[reqHash]
+	if ok {
+		c.memoHits++
+	} else {
+		c.memoMisses++
+	}
 	return body, ok
 }
 
 // memoPut records a finished response body under its request hash, charging
-// it to the cache budget.  Memoization is strictly best-effort and never
-// evicts: a body that is oversized, or that does not fit in the budget's
-// current free space, is simply not memoized — a response replay is never
-// worth dropping a live Workspace, and a request that already succeeded
-// never fails here.  Memo space frees up again when its entry's Workspace
-// is evicted or the budget otherwise drains.
-func (c *wsCache) memoPut(e *wsEntry, reqHash string, body []byte) {
+// it to the cache budget, and reports whether the body was actually stored.
+// Memoization is strictly best-effort and never evicts: a body that is
+// oversized, or that does not fit in the budget's current free space, is
+// simply not memoized — a response replay is never worth dropping a live
+// Workspace, and a request that already succeeded never fails here.  Memo
+// space frees up again when its entry's Workspace is evicted or the budget
+// otherwise drains.
+func (c *wsCache) memoPut(e *wsEntry, reqHash string, body []byte) bool {
 	n := int64(len(body))
 	if n > c.maxMemoEntry {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := e.memo[reqHash]; dup {
-		return
+		return false
 	}
 	if c.used+n > c.budget {
-		return
+		return false
 	}
 	e.memo[reqHash] = body
 	e.memoBytes += n
 	c.used += n
+	c.memoEntries++
+	c.memoBytesTotal += n
+	return true
 }
 
-// stats reports occupancy for /healthz.
-func (c *wsCache) stats() (graphs int, usedBytes, budgetBytes int64) {
+// cacheStats is the /healthz snapshot of occupancy and traffic.
+type cacheStats struct {
+	graphs               int
+	usedBytes, budget    int64
+	memoHits, memoMisses int64
+	evictions            int64
+	memoEntries          int
+	memoBytes            int64
+}
+
+// stats reports occupancy and counters for /healthz.
+func (c *wsCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.byID), c.used, c.budget
+	return cacheStats{
+		graphs:    len(c.byID),
+		usedBytes: c.used, budget: c.budget,
+		memoHits: c.memoHits, memoMisses: c.memoMisses,
+		evictions:   c.evictions,
+		memoEntries: c.memoEntries,
+		memoBytes:   c.memoBytesTotal,
+	}
+}
+
+// hasGraph reports whether id is resident, without pinning it.  Compaction
+// uses it as the liveness filter — queried at scan time rather than
+// snapshotted, so an entry added mid-compaction is never misread as dead.
+func (c *wsCache) hasGraph(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[id] != nil
+}
+
+// hasMemo reports whether the memoized body for (id, reqHash) is resident.
+func (c *wsCache) hasMemo(id, reqHash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.byID[id]
+	if e == nil {
+		return false
+	}
+	_, ok := e.memo[reqHash]
+	return ok
+}
+
+// verifyAccounting is the invariant-checking hook for tests: under the lock,
+// the charged byte total must equal the sum over resident entries of
+// footprint + memo bytes, and the memo occupancy mirrors must agree with the
+// per-entry tables.  Concurrency tests call it mid-churn under -race.
+func (c *wsCache) verifyAccounting() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var used, memoBytes int64
+	var memoEntries int
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*wsEntry)
+		var entryMemo int64
+		for _, body := range e.memo {
+			entryMemo += int64(len(body))
+		}
+		if entryMemo != e.memoBytes {
+			return fmt.Errorf("entry %s: memoBytes %d but bodies sum to %d", e.id, e.memoBytes, entryMemo)
+		}
+		used += e.footprint + e.memoBytes
+		memoBytes += e.memoBytes
+		memoEntries += len(e.memo)
+	}
+	if used != c.used {
+		return fmt.Errorf("used = %d but entries sum to %d", c.used, used)
+	}
+	if memoBytes != c.memoBytesTotal || memoEntries != c.memoEntries {
+		return fmt.Errorf("memo totals (%d bytes, %d entries) but entries sum to (%d, %d)",
+			c.memoBytesTotal, c.memoEntries, memoBytes, memoEntries)
+	}
+	if c.used > c.budget {
+		return fmt.Errorf("used %d exceeds budget %d", c.used, c.budget)
+	}
+	return nil
 }

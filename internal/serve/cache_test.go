@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cdagio/internal/core"
+	"cdagio/internal/gen"
+)
+
+// TestCacheAccountingUnderChurn hammers one wsCache from many goroutines —
+// add, get, memoPut, drop, release — while a checker repeatedly asserts the
+// byte-accounting invariant: used == Σ(footprint + memo bytes) over resident
+// entries, with the memo occupancy mirrors in agreement.  Run under -race
+// this is the satellite-3 gate on the cache's bookkeeping.
+func TestCacheAccountingUnderChurn(t *testing.T) {
+	const (
+		workers   = 8
+		iters     = 400
+		footprint = 1000
+		ids       = 16 // budget fits ~10, so adds constantly evict
+	)
+	c := newWSCache(10*footprint+500, 200)
+	ws := core.NewWorkspace(gen.Chain(4))
+
+	var wg, checker sync.WaitGroup
+	stop := make(chan struct{})
+	checkErr := make(chan error, 1)
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.verifyAccounting(); err != nil {
+				select {
+				case checkErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("g%d", (w+i)%ids)
+				e, _, err := c.add(id, ws, footprint)
+				if err != nil {
+					continue // everything else pinned; churn on
+				}
+				// Bodies straddle maxMemoEntry (200) so both the stored and
+				// the rejected paths run.
+				c.memoPut(e, fmt.Sprintf("h%d", i%4), make([]byte, (w*37+i*13)%256))
+				if other := c.get(fmt.Sprintf("g%d", i%ids)); other != nil {
+					c.memoGet(other, "h0")
+					c.release(other)
+				}
+				if (w+i)%11 == 0 {
+					c.drop(e) // doomed while still pinned by us
+				}
+				c.release(e)
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(stop)
+	checker.Wait()
+	select {
+	case err := <-checkErr:
+		t.Fatalf("invariant broken mid-churn: %v", err)
+	default:
+	}
+	if err := c.verifyAccounting(); err != nil {
+		t.Fatalf("invariant broken at rest: %v", err)
+	}
+	cs := c.stats()
+	if cs.evictions == 0 {
+		t.Fatal("churn produced no evictions; the test budget is mis-sized")
+	}
+	if cs.usedBytes > cs.budget {
+		t.Fatalf("used %d exceeds budget %d", cs.usedBytes, cs.budget)
+	}
+}
+
+// TestCacheDropSemantics pins down drop's contract directly: the entry stops
+// being findable immediately, survives until its last pin, and its bytes are
+// credited back exactly once.
+func TestCacheDropSemantics(t *testing.T) {
+	c := newWSCache(1<<20, 1<<10)
+	ws := core.NewWorkspace(gen.Chain(4))
+	e, inserted, err := c.add("a", ws, 100)
+	if err != nil || !inserted {
+		t.Fatalf("add: inserted=%v err=%v", inserted, err)
+	}
+	if !c.memoPut(e, "h", make([]byte, 50)) {
+		t.Fatal("memoPut refused a fitting body")
+	}
+	second := c.get("a")
+	if second == nil {
+		t.Fatal("get before drop missed")
+	}
+
+	c.drop(e)
+	if c.get("a") != nil {
+		t.Fatal("dropped entry still findable")
+	}
+	if cs := c.stats(); cs.usedBytes != 150 {
+		t.Fatalf("bytes released before last pin: used=%d", cs.usedBytes)
+	}
+	c.release(second)
+	c.release(e)
+	if cs := c.stats(); cs.usedBytes != 0 || cs.memoEntries != 0 {
+		t.Fatalf("bytes not released after last pin: %+v", cs)
+	}
+	if err := c.verifyAccounting(); err != nil {
+		t.Fatalf("accounting after drop: %v", err)
+	}
+	// A fresh add under the same id is independent of the corpse.
+	if _, inserted, err := c.add("a", ws, 100); err != nil || !inserted {
+		t.Fatalf("re-add after drop: inserted=%v err=%v", inserted, err)
+	}
+}

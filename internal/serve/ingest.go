@@ -12,6 +12,7 @@ import (
 	"cdagio/internal/cdag"
 	"cdagio/internal/gen"
 	"cdagio/internal/graphalg"
+	"cdagio/internal/store"
 )
 
 // uploadRequest is the body of POST /v1/graphs: exactly one of Graph (an
@@ -280,6 +281,17 @@ func hashID(identity []byte) string {
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
+// ingested is one upload after validation: the graph, its content-hash ID,
+// and the store record that makes it durable (the canonical graph JSON for
+// inline uploads; the canonical spec JSON for generators — rebuilding a
+// stencil from its spec on recovery is far cheaper than parsing a
+// million-vertex JSON dump).
+type ingested struct {
+	g   *cdag.Graph
+	id  string
+	rec store.Record
+}
+
 // ingestGraph turns an upload request into a validated graph plus its
 // content-hash ID.  Inline graphs decode under the configured adversarial
 // limits and are hashed over their canonical re-marshaled form (so
@@ -289,46 +301,54 @@ func hashID(identity []byte) string {
 // or generated — must pass RBW validation before it reaches an engine: the
 // engines' topological-order entry points panic on cycles, and that panic
 // must stay unreachable from request data.
-func (s *Server) ingestGraph(body []byte) (*cdag.Graph, string, error) {
+func (s *Server) ingestGraph(body []byte) (*ingested, error) {
 	var req uploadRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return nil, "", invalidf("upload body: %v", err)
+		return nil, invalidf("upload body: %v", err)
 	}
 	switch {
 	case req.Graph != nil && req.Gen != nil:
-		return nil, "", invalidf("upload body: graph and gen are mutually exclusive")
+		return nil, invalidf("upload body: graph and gen are mutually exclusive")
 	case req.Graph == nil && req.Gen == nil:
-		return nil, "", invalidf("upload body: need a graph or a gen spec")
+		return nil, invalidf("upload body: need a graph or a gen spec")
 	}
 
 	var (
 		g        *cdag.Graph
 		identity []byte
+		rec      store.Record
 	)
 	if req.Gen != nil {
 		if err := s.checkGenSpec(req.Gen); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		var err error
 		if g, err = buildGen(req.Gen); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		identity = []byte(genKey(req.Gen))
+		spec, err := json.Marshal(req.Gen)
+		if err != nil {
+			return nil, internalf("canonicalize gen spec: %v", err)
+		}
+		rec = store.Record{Kind: store.KindGraphSpec, Value: spec}
 	} else {
 		var err error
 		if g, err = cdag.ReadJSONLimits(bytes.NewReader(req.Graph), s.cfg.JSONLimits); err != nil {
-			return nil, "", classify(err)
+			return nil, classify(err)
 		}
 		if identity, err = json.Marshal(g); err != nil {
-			return nil, "", internalf("canonicalize graph: %v", err)
+			return nil, internalf("canonicalize graph: %v", err)
 		}
+		rec = store.Record{Kind: store.KindGraphJSON, Value: identity}
 	}
 	if err := g.Validate(cdag.ValidateRBW); err != nil {
-		return nil, "", invalidf("graph rejected: %v", err)
+		return nil, invalidf("graph rejected: %v", err)
 	}
-	return g, hashID(identity), nil
+	rec.Key = hashID(identity)
+	return &ingested{g: g, id: rec.Key, rec: rec}, nil
 }
 
 // requestHash is the memoization key of an engine request: engine name plus

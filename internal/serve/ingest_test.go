@@ -49,7 +49,10 @@ func TestGenEstimateIsUpperBound(t *testing.T) {
 // single vertex is allocated (if the check were missing, several of these
 // would allocate tens of gigabytes and OOM the test).
 func TestGenSpecRejectedBeforeBuild(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	for _, body := range []string{
 		`{"gen":{"kind":"chain","n":2000000000}}`,
 		`{"gen":{"kind":"chains","k":2000000000,"n":2000000000}}`,
@@ -63,7 +66,7 @@ func TestGenSpecRejectedBeforeBuild(t *testing.T) {
 		`{"gen":{"kind":"cg","dim":3,"n":1000,"iterations":1000}}`,
 		`{"gen":{"kind":"gmres","dim":3,"n":500,"iterations":1000}}`,
 	} {
-		_, _, err := s.ingestGraph([]byte(body))
+		_, err := s.ingestGraph([]byte(body))
 		var se *Error
 		if !errors.As(err, &se) || !errors.Is(se.Class, ErrResourceLimit) {
 			t.Errorf("%s: err %v, want ErrResourceLimit", body, err)
@@ -75,14 +78,17 @@ func TestGenSpecRejectedBeforeBuild(t *testing.T) {
 // whose estimated Workspace footprint exceeds the cache budget is rejected
 // up front, mirroring the post-build cache admission.
 func TestGenSpecFootprintRejection(t *testing.T) {
-	s := New(Config{CacheBudget: 64 << 10, SolverLimit: 1})
-	_, _, err := s.ingestGraph([]byte(`{"gen":{"kind":"jacobi","dim":2,"n":64,"steps":16}}`))
+	s, nerr := New(Config{CacheBudget: 64 << 10, SolverLimit: 1})
+	if nerr != nil {
+		t.Fatalf("New: %v", nerr)
+	}
+	_, err := s.ingestGraph([]byte(`{"gen":{"kind":"jacobi","dim":2,"n":64,"steps":16}}`))
 	var se *Error
 	if !errors.As(err, &se) || !errors.Is(se.Class, ErrResourceLimit) {
 		t.Fatalf("footprint over budget: err %v, want ErrResourceLimit", err)
 	}
 	// A small spec under the same budget still ingests.
-	if _, _, err := s.ingestGraph([]byte(`{"gen":{"kind":"chain","n":64}}`)); err != nil {
+	if _, err := s.ingestGraph([]byte(`{"gen":{"kind":"chain","n":64}}`)); err != nil {
 		t.Fatalf("small spec under tight budget: %v", err)
 	}
 }

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"cdagio/internal/cdag"
+	"cdagio/internal/core"
+	"cdagio/internal/store"
+)
+
+// This file is the daemon's durability seam: write-through journaling of
+// uploads and memoized responses into internal/store, warm-restart recovery
+// that replays the log back into the Workspace cache, and background
+// compaction that rewrites the log down to what the cache still holds.
+//
+// The ordering invariant everything here leans on: a record is journaled
+// BEFORE its cache entry becomes visible.  The moment a concurrent identical
+// request can be answered from the cache, the bytes backing that answer are
+// already durable — so "the response was acknowledged" implies "a restart
+// replays it bit-identically", with no window in between.
+
+// storeActive reports whether write-through journaling is on: a store was
+// configured and has not been demoted to in-memory-only by an unrecoverable
+// failure.
+func (s *Server) storeActive() bool {
+	return s.store != nil && s.storeOK.Load()
+}
+
+// persist journals one record, blocking until it is durable.  A nil return
+// with no store configured keeps the request path byte-identical to the
+// store-less daemon.  On failure the caller must fail its request: the record
+// may not survive a crash, so nothing downstream of it may be acknowledged or
+// made findable in the cache.
+func (s *Server) persist(rec store.Record) *Error {
+	if !s.storeActive() {
+		return nil
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.appendErrs.Add(1)
+		return internalf("journal append: %v", err)
+	}
+	return nil
+}
+
+// Pending-record tracking: between persist returning and the cache insert
+// completing, a record is durable but not yet visible — exactly the state a
+// concurrent compaction would misread as dead.  notePending marks the key for
+// that window; compaction keeps pending records unconditionally.
+func pendingGraphKey(id string) string      { return "g\x00" + id }
+func pendingMemoKey(id, hash string) string { return "m\x00" + id + "\x00" + hash }
+
+func (s *Server) notePending(key string) (done func()) {
+	if !s.storeActive() {
+		return func() {}
+	}
+	s.pendingMu.Lock()
+	s.pending[key]++
+	s.pendingMu.Unlock()
+	return func() {
+		s.pendingMu.Lock()
+		if s.pending[key]--; s.pending[key] <= 0 {
+			delete(s.pending, key)
+		}
+		s.pendingMu.Unlock()
+	}
+}
+
+func (s *Server) isPending(key string) bool {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	return s.pending[key] > 0
+}
+
+// recoverStore is the warm-restart path, run on its own goroutine from New:
+// replay the journal into the cache, then open the doors.  Until it finishes,
+// warming keeps /readyz at 503 and sheds every /v1/ request — a restarted
+// daemon never serves from a half-repopulated cache.  Recovery failure is not
+// fatal: the daemon demotes itself to in-memory-only and keeps serving, with
+// the failure visible on /healthz.
+func (s *Server) recoverStore() {
+	defer s.warming.Store(false)
+	st, err := s.store.Recover(s.applyRecord)
+	if err != nil {
+		s.storeOK.Store(false)
+		s.lastErr.Store(fmt.Sprintf("store recovery failed, serving in-memory only: %v", err))
+		return
+	}
+	s.recovery.records.Store(int64(st.Records))
+	s.recovery.corrupt.Store(int64(st.CorruptRecords))
+	s.recovery.truncated.Store(st.TruncatedBytes)
+}
+
+// applyRecord replays one journaled record into the cache.  Replay runs in
+// append order, so eviction under the byte budget behaves exactly as it did
+// live: a log holding more graphs than the budget fits ends with the most
+// recently uploaded ones resident.  A record the budget or limits refuse is
+// skipped with a counter, never a boot failure — the journal is a cache
+// warmer, not a source of truth the daemon must die over.
+func (s *Server) applyRecord(rec store.Record) {
+	switch rec.Kind {
+	case store.KindGraphJSON, store.KindGraphSpec:
+		if err := s.restoreGraph(rec); err != nil {
+			s.recovery.skipped.Add(1)
+			return
+		}
+		s.recovery.graphs.Add(1)
+	case store.KindMemo:
+		e := s.cache.get(rec.Key)
+		if e == nil {
+			// The graph this memo belongs to was skipped or already evicted
+			// by a later record's admission; the memo is dead weight.
+			s.recovery.skipped.Add(1)
+			return
+		}
+		ok := s.cache.memoPut(e, rec.Sub, rec.Value)
+		s.cache.release(e)
+		if !ok {
+			s.recovery.skipped.Add(1)
+			return
+		}
+		s.recovery.memos.Add(1)
+	default:
+		s.recovery.skipped.Add(1)
+	}
+}
+
+// restoreGraph rebuilds one graph record into a cached Workspace: inline
+// uploads re-parse their canonical JSON under the same adversarial limits as
+// a live request, generator specs rebuild through the same admission check
+// and constructor.  Validation re-runs too — the log is on disk and disks
+// rot, so recovery extends the "no request reaches an engine unvalidated"
+// contract to replayed bytes.
+func (s *Server) restoreGraph(rec store.Record) error {
+	var g *cdag.Graph
+	switch rec.Kind {
+	case store.KindGraphJSON:
+		var err error
+		if g, err = cdag.ReadJSONLimits(bytes.NewReader(rec.Value), s.cfg.JSONLimits); err != nil {
+			return err
+		}
+	case store.KindGraphSpec:
+		var spec genSpec
+		if err := json.Unmarshal(rec.Value, &spec); err != nil {
+			return err
+		}
+		if err := s.checkGenSpec(&spec); err != nil {
+			return err
+		}
+		var err error
+		if g, err = buildGen(&spec); err != nil {
+			return err
+		}
+	}
+	if err := g.Validate(cdag.ValidateRBW); err != nil {
+		return err
+	}
+	ws := core.NewWorkspace(g)
+	ws.SetSolverLimit(s.cfg.SolverLimit)
+	e, _, err := s.cache.add(rec.Key, ws, ws.FootprintBytes(s.cfg.SolverLimit))
+	if err != nil {
+		return err
+	}
+	s.cache.release(e)
+	return nil
+}
+
+// maybeCompact kicks off a background compaction when the log has outgrown
+// the threshold.  Single-flight: one compaction at a time, triggered from the
+// request path but never blocking it.
+func (s *Server) maybeCompact() {
+	if !s.storeActive() || s.warming.Load() {
+		return
+	}
+	if s.store.Size() <= s.cfg.CompactThreshold {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.compactStore()
+	}()
+}
+
+// compactStore rewrites the log down to the records the cache still holds.
+// Liveness is checked against the cache at filter time (not a snapshot) and
+// pending records are kept unconditionally: a record is dropped only if its
+// entry is provably gone — evicted, or rejected before ever becoming
+// findable.  Appends block for the duration of the rewrite and then land in
+// the new log, so nothing journaled during compaction is ever lost.
+func (s *Server) compactStore() {
+	err := s.store.Compact(func(rec store.Record) bool {
+		switch rec.Kind {
+		case store.KindGraphJSON, store.KindGraphSpec:
+			return s.cache.hasGraph(rec.Key) || s.isPending(pendingGraphKey(rec.Key))
+		case store.KindMemo:
+			return s.cache.hasMemo(rec.Key, rec.Sub) || s.isPending(pendingMemoKey(rec.Key, rec.Sub))
+		}
+		return false
+	})
+	if err != nil {
+		// The old log is still authoritative (Compact is atomic); nothing is
+		// lost, the log just stays big until the next trigger succeeds.
+		s.lastErr.Store(fmt.Sprintf("store compaction failed: %v", err))
+		return
+	}
+	s.compacts.Add(1)
+}

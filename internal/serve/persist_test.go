@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cdagio/internal/core"
+	"cdagio/internal/gen"
+)
+
+// waitReady polls /readyz until warm-restart recovery finishes.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	waitFor(t, func() bool {
+		status, _, _ := doRaw(t, "GET", base+"/readyz", "")
+		return status == http.StatusOK
+	}, "daemon never became ready")
+}
+
+// storeServer mounts a daemon with persistence and waits out its recovery.
+func storeServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, hs := testServer(t, cfg)
+	waitReady(t, hs.URL)
+	return s, hs
+}
+
+func storeHealth(t *testing.T, base string) map[string]any {
+	t.Helper()
+	status, _, health := do(t, "GET", base+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d body %v", status, health)
+	}
+	st, _ := health["store"].(map[string]any)
+	if st == nil {
+		t.Fatalf("healthz has no store section: %v", health)
+	}
+	return st
+}
+
+// TestWarmRestartReplaysAcknowledgedResponses is the kill-restart chaos test:
+// every response acknowledged before the kill must be served bit-identically
+// (with a memo hit) by the restarted daemon — including one journaled after a
+// torn append left garbage frames mid-log.  The kill is simulated in-process
+// by Abandon (close without the final fsync), which leaves the log exactly as
+// a SIGKILL between write(2) calls would.
+func TestWarmRestartReplaysAcknowledgedResponses(t *testing.T) {
+	dir := t.TempDir()
+	s1, hs1 := storeServer(t, Config{StoreDir: dir})
+
+	treeID := upload(t, hs1.URL, `{"gen":{"kind":"tree","n":64}}`)
+	inlineID := upload(t, hs1.URL,
+		`{"graph":{"vertices":4,"edges":[[0,2],[1,2],[2,3]],"inputs":[0,1],"outputs":[3]}}`)
+
+	type ack struct {
+		path, body string
+		resp       []byte
+	}
+	var acked []ack
+	run := func(path, body string) {
+		t.Helper()
+		status, _, raw := doRaw(t, "POST", hs1.URL+path, body)
+		if status != http.StatusOK {
+			t.Fatalf("POST %s: status %d body %s", path, status, raw)
+		}
+		acked = append(acked, ack{path, body, raw})
+	}
+	run("/v1/graphs/"+treeID+"/wmax", `{}`)
+	run("/v1/graphs/"+treeID+"/analyze", `{"s":3}`)
+	run("/v1/graphs/"+inlineID+"/wmax", `{}`)
+
+	// A torn append: half the memo frame lands, the request fails with 500 and
+	// is NOT acknowledged.  The log now carries a garbage region that recovery
+	// must resynchronize across.
+	restore := FaultPoint(func(point string) {
+		if point == "store.append.torn" {
+			panic("injected torn write")
+		}
+	})
+	status, _, payload := do(t, "POST", hs1.URL+"/v1/graphs/"+treeID+"/wavefront", `{"vertex":5}`)
+	restore()
+	if status != http.StatusInternalServerError || errClass(t, payload) != "internal" {
+		t.Fatalf("torn append: status %d body %v, want structured 500", status, payload)
+	}
+
+	// One more acknowledged response lands after the torn bytes: recovery must
+	// find it on the far side of the garbage.
+	run("/v1/graphs/"+treeID+"/play", `{"s":3}`)
+
+	// Kill.  Acknowledged appends were fsynced; nothing else is promised.
+	if err := s1.store.Abandon(); err != nil {
+		t.Fatalf("abandon: %v", err)
+	}
+	hs1.Close()
+
+	// Restart on the same directory: every acknowledged response replays
+	// bit-identically as a memo hit.
+	_, hs2 := storeServer(t, Config{StoreDir: dir})
+	for _, a := range acked {
+		status, hdr, raw := doRaw(t, "POST", hs2.URL+a.path, a.body)
+		if status != http.StatusOK {
+			t.Fatalf("replay %s: status %d body %s", a.path, status, raw)
+		}
+		if hdr.Get("X-Cdagd-Memo") != "hit" {
+			t.Fatalf("replay %s: memo %q, want hit", a.path, hdr.Get("X-Cdagd-Memo"))
+		}
+		if !bytes.Equal(raw, a.resp) {
+			t.Fatalf("replay %s: body differs:\n  pre-kill  %s\n  post-kill %s", a.path, a.resp, raw)
+		}
+	}
+	st := storeHealth(t, hs2.URL)
+	if st["corrupt_records"].(float64) < 1 {
+		t.Fatalf("recovery saw no corruption despite the torn frame: %v", st)
+	}
+	if st["recovered_memos"].(float64) != float64(len(acked)) {
+		t.Fatalf("recovered %v memos, want %d", st["recovered_memos"], len(acked))
+	}
+}
+
+// TestReadyzGatedOnRecovery parks recovery on a fault hook and verifies the
+// warming daemon: /readyz and every /v1/ route shed with 503, /healthz stays
+// live and reports "warming", and the doors open once recovery returns.
+func TestReadyzGatedOnRecovery(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	block := make(chan struct{})
+	restore := FaultPoint(func(point string) {
+		if point == "store.recover" {
+			entered <- struct{}{}
+			<-block
+		}
+	})
+	defer restore()
+
+	_, hs := testServer(t, Config{StoreDir: t.TempDir()})
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("recovery never started")
+	}
+
+	status, hdr, payload := do(t, "GET", hs.URL+"/readyz", "")
+	if status != http.StatusServiceUnavailable || errClass(t, payload) != "overloaded" || hdr.Get("Retry-After") == "" {
+		t.Fatalf("readyz while warming: status %d headers %v body %v", status, hdr, payload)
+	}
+	status, _, payload = do(t, "POST", hs.URL+"/v1/graphs", `{"gen":{"kind":"chain","n":8}}`)
+	if status != http.StatusServiceUnavailable || errClass(t, payload) != "overloaded" {
+		t.Fatalf("upload while warming: status %d body %v", status, payload)
+	}
+	status, _, payload = do(t, "GET", hs.URL+"/v1/graphs/sha256:beef", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("metadata while warming: status %d body %v, want 503 (not a 404 lie)", status, payload)
+	}
+	status, _, health := do(t, "GET", hs.URL+"/healthz", "")
+	if status != http.StatusOK || health["status"] != "warming" {
+		t.Fatalf("healthz while warming: status %d body %v", status, health)
+	}
+
+	close(block)
+	waitReady(t, hs.URL)
+	upload(t, hs.URL, `{"gen":{"kind":"chain","n":8}}`)
+}
+
+// TestRecoveryCountersAfterLogDamage damages a real log — one byte flipped in
+// an interior record, garbage appended as a torn tail — and verifies the
+// restarted daemon boots anyway, serves the surviving graphs, and reports the
+// damage on /healthz instead of hiding it.
+func TestRecoveryCountersAfterLogDamage(t *testing.T) {
+	dir := t.TempDir()
+	s1, hs1 := storeServer(t, Config{StoreDir: dir})
+	ids := []string{
+		upload(t, hs1.URL, `{"gen":{"kind":"chain","n":8}}`),
+		upload(t, hs1.URL, `{"gen":{"kind":"chain","n":9}}`),
+		upload(t, hs1.URL, `{"gen":{"kind":"chain","n":10}}`),
+	}
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	logPath := filepath.Join(dir, "log.bin")
+	buf, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	// Three similar records: the midpoint lands inside the second one.
+	buf[len(buf)/2] ^= 0xff
+	// A torn tail: a frame header promising more bytes than exist.
+	buf = append(buf, 0xcd, 0xa6, 0x0d, 0x17, 0xff, 0xff, 0x0f, 0x00)
+	if err := os.WriteFile(logPath, buf, 0o644); err != nil {
+		t.Fatalf("write damaged log: %v", err)
+	}
+
+	_, hs2 := storeServer(t, Config{StoreDir: dir})
+	st := storeHealth(t, hs2.URL)
+	if st["recovered_graphs"].(float64) != 2 {
+		t.Fatalf("recovered %v graphs, want 2 (one corrupted away): %v", st["recovered_graphs"], st)
+	}
+	if st["corrupt_records"].(float64) < 1 || st["truncated_bytes"].(float64) < 1 {
+		t.Fatalf("damage not reported: %v", st)
+	}
+	if status, _, _ := doRaw(t, "GET", hs2.URL+"/v1/graphs/"+ids[0], ""); status != http.StatusOK {
+		t.Fatalf("first graph lost: %d", status)
+	}
+	if status, _, _ := doRaw(t, "GET", hs2.URL+"/v1/graphs/"+ids[2], ""); status != http.StatusOK {
+		t.Fatalf("third graph lost despite resynchronization: %d", status)
+	}
+	if status, _, _ := doRaw(t, "GET", hs2.URL+"/v1/graphs/"+ids[1], ""); status != http.StatusNotFound {
+		t.Fatalf("corrupted graph resurrected: %d", status)
+	}
+}
+
+// TestFsyncFailureDegradesWithoutPoisoning forces the batch fsync to fail:
+// affected requests get a structured 500, nothing enters the cache behind the
+// journal's back, and once the fault clears, the identical requests succeed.
+func TestFsyncFailureDegradesWithoutPoisoning(t *testing.T) {
+	_, hs := storeServer(t, Config{StoreDir: t.TempDir()})
+	id := upload(t, hs.URL, `{"gen":{"kind":"chain","n":32}}`)
+
+	restore := FaultPoint(func(point string) {
+		if point == "store.append.fsync" {
+			panic("injected fsync failure")
+		}
+	})
+	// A new upload fails and is not findable afterwards.
+	status, _, payload := do(t, "POST", hs.URL+"/v1/graphs", `{"gen":{"kind":"chain","n":33}}`)
+	if status != http.StatusInternalServerError || errClass(t, payload) != "internal" {
+		t.Fatalf("upload under fsync fault: status %d body %v", status, payload)
+	}
+	failedID := hashID([]byte(genKey(&genSpec{Kind: "chain", N: 33})))
+	if status, _, _ := doRaw(t, "GET", hs.URL+"/v1/graphs/"+failedID, ""); status != http.StatusNotFound {
+		t.Fatalf("unjournaled graph is findable: %d", status)
+	}
+	// An engine run fails at the memo append and is not memoized.
+	status, _, payload = do(t, "POST", hs.URL+"/v1/graphs/"+id+"/wmax", `{}`)
+	if status != http.StatusInternalServerError || errClass(t, payload) != "internal" {
+		t.Fatalf("engine under fsync fault: status %d body %v", status, payload)
+	}
+	restore()
+
+	// The fault is gone: the same requests now succeed from scratch — the
+	// failed attempts poisoned nothing.
+	status, hdr, _ := doRaw(t, "POST", hs.URL+"/v1/graphs/"+id+"/wmax", `{}`)
+	if status != http.StatusOK || hdr.Get("X-Cdagd-Memo") == "hit" {
+		t.Fatalf("retry after fault: status %d memo %q, want fresh 200", status, hdr.Get("X-Cdagd-Memo"))
+	}
+	status, hdr, _ = doRaw(t, "POST", hs.URL+"/v1/graphs/"+id+"/wmax", `{}`)
+	if status != http.StatusOK || hdr.Get("X-Cdagd-Memo") != "hit" {
+		t.Fatalf("memo after fault: status %d memo %q", status, hdr.Get("X-Cdagd-Memo"))
+	}
+	status, _, payload = do(t, "POST", hs.URL+"/v1/graphs", `{"gen":{"kind":"chain","n":33}}`)
+	if status != http.StatusCreated {
+		t.Fatalf("upload retry after fault: status %d body %v", status, payload)
+	}
+	if st := storeHealth(t, hs.URL); st["append_errors"].(float64) < 2 {
+		t.Fatalf("append errors not counted: %v", st)
+	}
+}
+
+// TestCompactionDropsEvictedRecords: after eviction makes a journaled graph
+// dead, compaction rewrites the log without it, and a restart restores only
+// what the cache would have held anyway.
+func TestCompactionDropsEvictedRecords(t *testing.T) {
+	fp := core.NewWorkspace(gen.Chain(300)).FootprintBytes(1)
+	dir := t.TempDir()
+	cfg := Config{StoreDir: dir, CacheBudget: fp + fp/2, SolverLimit: 1}
+	s1, hs1 := storeServer(t, cfg)
+
+	idA := upload(t, hs1.URL, `{"gen":{"kind":"chain","n":300}}`)
+	idB := upload(t, hs1.URL, `{"gen":{"kind":"chain","n":301}}`) // evicts A
+	status, _, respB := doRaw(t, "POST", hs1.URL+"/v1/graphs/"+idB+"/wmax", `{}`)
+	if status != http.StatusOK {
+		t.Fatalf("wmax on B: status %d", status)
+	}
+
+	s1.compactStore()
+	if got := s1.compacts.Load(); got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	if st := storeHealth(t, hs1.URL); st["compactions"].(float64) != 1 {
+		t.Fatalf("healthz compactions: %v", st)
+	}
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, hs2 := storeServer(t, cfg)
+	st := storeHealth(t, hs2.URL)
+	if st["recovered_graphs"].(float64) != 1 || st["skipped_records"].(float64) != 0 {
+		t.Fatalf("compacted log should restore exactly B: %v", st)
+	}
+	if status, _, _ := doRaw(t, "GET", hs2.URL+"/v1/graphs/"+idB, ""); status != http.StatusOK {
+		t.Fatalf("live graph lost by compaction: %d", status)
+	}
+	if status, _, _ := doRaw(t, "GET", hs2.URL+"/v1/graphs/"+idA, ""); status != http.StatusNotFound {
+		t.Fatalf("evicted graph survived compaction: %d", status)
+	}
+	// B's memo survived compaction too, bit-identically.
+	status, hdr, raw := doRaw(t, "POST", hs2.URL+"/v1/graphs/"+idB+"/wmax", `{}`)
+	if status != http.StatusOK || hdr.Get("X-Cdagd-Memo") != "hit" || !bytes.Equal(raw, respB) {
+		t.Fatalf("memo after compaction+restart: status %d memo %q", status, hdr.Get("X-Cdagd-Memo"))
+	}
+}
+
+// TestMemoCountersOnHealthz: the memo hit/miss/occupancy counters and the
+// eviction counter surface on /healthz (no store required).
+func TestMemoCountersOnHealthz(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	id := upload(t, hs.URL, `{"gen":{"kind":"chain","n":16}}`)
+	doRaw(t, "POST", hs.URL+"/v1/graphs/"+id+"/wmax", `{}`)
+	doRaw(t, "POST", hs.URL+"/v1/graphs/"+id+"/wmax", `{}`)
+
+	_, _, health := do(t, "GET", hs.URL+"/healthz", "")
+	cache := health["cache"].(map[string]any)
+	memo := cache["memo"].(map[string]any)
+	if memo["hits"].(float64) < 1 || memo["misses"].(float64) < 1 {
+		t.Fatalf("memo traffic not counted: %v", memo)
+	}
+	if memo["entries"].(float64) < 1 || memo["bytes"].(float64) <= 0 {
+		t.Fatalf("memo occupancy not counted: %v", memo)
+	}
+	if _, ok := cache["evictions"].(float64); !ok {
+		t.Fatalf("evictions counter missing: %v", cache)
+	}
+}
+
+// TestEvictionCounterOnHealthz forces an LRU eviction and reads it back.
+func TestEvictionCounterOnHealthz(t *testing.T) {
+	fp := core.NewWorkspace(gen.Chain(300)).FootprintBytes(1)
+	_, hs := testServer(t, Config{CacheBudget: fp + fp/2, SolverLimit: 1})
+	upload(t, hs.URL, `{"gen":{"kind":"chain","n":300}}`)
+	upload(t, hs.URL, `{"gen":{"kind":"chain","n":301}}`)
+	_, _, health := do(t, "GET", hs.URL+"/healthz", "")
+	cache := health["cache"].(map[string]any)
+	if cache["evictions"].(float64) != 1 {
+		t.Fatalf("evictions = %v, want 1", cache["evictions"])
+	}
+}
+
+// TestStorelessHasNoStoreSection: without -store-dir the daemon is the PR 7
+// daemon — no store section on /healthz, no warming phase, ready immediately.
+func TestStorelessHasNoStoreSection(t *testing.T) {
+	s, hs := testServer(t, Config{})
+	if s.store != nil || s.warming.Load() {
+		t.Fatal("store-less daemon has store state")
+	}
+	if status, _, _ := doRaw(t, "GET", hs.URL+"/readyz", ""); status != http.StatusOK {
+		t.Fatal("store-less daemon not immediately ready")
+	}
+	_, _, health := do(t, "GET", hs.URL+"/healthz", "")
+	if _, present := health["store"]; present {
+		t.Fatalf("store section present without a store: %v", health)
+	}
+	if !strings.HasPrefix(upload(t, hs.URL, `{"gen":{"kind":"chain","n":8}}`), "sha256:") {
+		t.Fatal("upload failed")
+	}
+}

@@ -21,7 +21,10 @@ import (
 // testServer mounts a daemon on an httptest server.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, hs
@@ -432,8 +435,8 @@ func TestCacheAdmissionAndEviction(t *testing.T) {
 	if status != http.StatusNotFound {
 		t.Fatalf("graph A: status %d body %v, want 404 after eviction", status, payload)
 	}
-	if graphs, _, _ := s.cache.stats(); graphs != 1 {
-		t.Fatalf("cache holds %d graphs, want 1", graphs)
+	if cs := s.cache.stats(); cs.graphs != 1 {
+		t.Fatalf("cache holds %d graphs, want 1", cs.graphs)
 	}
 }
 
@@ -441,7 +444,10 @@ func TestCacheAdmissionAndEviction(t *testing.T) {
 // flight and verifies the drain: new requests are refused with 503, the
 // in-flight request completes, and Serve returns nil within the deadline.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{DrainTimeout: 5 * time.Second})
+	s, err := New(Config{DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)

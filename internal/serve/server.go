@@ -24,12 +24,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"cdagio/internal/cdag"
 	"cdagio/internal/core"
 	"cdagio/internal/fault"
+	"cdagio/internal/store"
 )
 
 // FaultPoint installs a test hook called at every fault-injection point the
@@ -79,6 +81,23 @@ type Config struct {
 	ShedThreshold float64
 	// MaxSweepJobs bounds the jobs of one sweep request (default 256).
 	MaxSweepJobs int
+	// MaxMemoEntry bounds one memoized response body; larger responses are
+	// recomputed on every request instead of cached (default 1 MiB).
+	MaxMemoEntry int64
+	// StoreDir enables crash-safe persistence: uploaded graphs and memoized
+	// responses are journaled to an append-only checksummed log under this
+	// directory, replayed into the cache on restart (honoring CacheBudget),
+	// and compacted when the log outgrows CompactThreshold.  Empty keeps the
+	// daemon pure in-memory — the default, and byte-for-byte the pre-store
+	// request path.
+	StoreDir string
+	// NoFsync skips the store's per-batch fsync (crash-safe, not
+	// power-loss-safe).  Only meaningful with StoreDir set.
+	NoFsync bool
+	// CompactThreshold is the log size (bytes) beyond which a background
+	// compaction rewrites it down to the live cache contents (default
+	// 64 MiB).
+	CompactThreshold int64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +139,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepJobs <= 0 {
 		c.MaxSweepJobs = 256
 	}
+	if c.MaxMemoEntry <= 0 {
+		c.MaxMemoEntry = 1 << 20
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 64 << 20
+	}
 	return c
 }
 
@@ -147,19 +172,68 @@ type Server struct {
 	light    *gate
 	draining atomic.Bool
 	lastErr  atomic.Value // string: most recent internal-class error detail
+
+	// Durable-store state (all zero-valued when StoreDir is unset).
+	store      *store.Store
+	storeOK    atomic.Bool // false after an unrecoverable store failure: serve in-memory only
+	warming    atomic.Bool // true until log recovery finishes; gates /readyz and writes
+	compacting atomic.Bool // single-flight latch for background compaction
+	recovery   recoveryStats
+	appendErrs atomic.Int64
+	compacts   atomic.Int64
+
+	// pending marks records journaled but not yet visible in the cache, so a
+	// concurrent compaction cannot misread them as dead; see persist.go.
+	pendingMu sync.Mutex
+	pending   map[string]int
 }
 
-// New returns a Server with cfg (zero fields take defaults).
-func New(cfg Config) *Server {
+// recoveryStats is what the warm restart replayed, for /healthz.
+type recoveryStats struct {
+	graphs, memos, skipped atomic.Int64 // skipped: valid records the budget or limits refused
+	corrupt, truncated     atomic.Int64 // from the log scan: corruption events, torn-tail bytes
+	records                atomic.Int64
+}
+
+// New returns a Server with cfg (zero fields take defaults).  With
+// cfg.StoreDir set it also opens the durable store and starts log recovery
+// in the background; until recovery completes the daemon reports itself
+// unready and sheds requests, so a warm restart never serves from a
+// half-repopulated cache.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newWSCache(cfg.CacheBudget),
-		heavy: newGate("heavy", cfg.HeavyInFlight, cfg.HeavyQueue),
-		light: newGate("light", cfg.LightInFlight, cfg.LightQueue),
+		cfg:     cfg,
+		cache:   newWSCache(cfg.CacheBudget, cfg.MaxMemoEntry),
+		heavy:   newGate("heavy", cfg.HeavyInFlight, cfg.HeavyQueue),
+		light:   newGate("light", cfg.LightInFlight, cfg.LightQueue),
+		pending: map[string]int{},
 	}
 	s.lastErr.Store("")
-	return s
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{NoFsync: cfg.NoFsync})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.storeOK.Store(true)
+		s.warming.Store(true)
+		go s.recoverStore()
+	}
+	return s, nil
+}
+
+// Close releases the durable store (flushing its final batch).  Safe to call
+// on a store-less server; Serve calls it after the drain completes.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.Close()
+	if errors.Is(err, store.ErrClosed) {
+		return nil
+	}
+	return err
 }
 
 // Handler returns the daemon's HTTP surface:
@@ -194,24 +268,52 @@ func (s *Server) recovering(h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
+	case s.warming.Load():
+		status = "warming"
 	}
-	graphs, used, budget := s.cache.stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	cs := s.cache.stats()
+	payload := map[string]any{
 		"status": status,
 		"heavy":  map[string]any{"in_flight": s.heavy.inFlight(), "queued": s.heavy.queued()},
 		"light":  map[string]any{"in_flight": s.light.inFlight(), "queued": s.light.queued()},
 		"cache": map[string]any{
-			"graphs": graphs, "used_bytes": used, "budget_bytes": budget,
+			"graphs": cs.graphs, "used_bytes": cs.usedBytes, "budget_bytes": cs.budget,
+			"evictions": cs.evictions,
+			"memo": map[string]any{
+				"hits": cs.memoHits, "misses": cs.memoMisses,
+				"entries": cs.memoEntries, "bytes": cs.memoBytes,
+			},
 		},
 		"last_error": s.lastErr.Load().(string),
-	})
+	}
+	if s.store != nil {
+		payload["store"] = map[string]any{
+			"ok":                s.storeOK.Load(),
+			"warming":           s.warming.Load(),
+			"log_bytes":         s.store.Size(),
+			"recovered_records": s.recovery.records.Load(),
+			"recovered_graphs":  s.recovery.graphs.Load(),
+			"recovered_memos":   s.recovery.memos.Load(),
+			"skipped_records":   s.recovery.skipped.Load(),
+			"corrupt_records":   s.recovery.corrupt.Load(),
+			"truncated_bytes":   s.recovery.truncated.Load(),
+			"append_errors":     s.appendErrs.Load(),
+			"compactions":       s.compacts.Load(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeError(w, shedf(s.cfg.DrainTimeout, "draining"))
+		return
+	}
+	if s.warming.Load() {
+		s.writeError(w, shedf(time.Second, "store recovery in progress"))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
@@ -229,6 +331,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, shedf(s.cfg.DrainTimeout, "draining"))
 		return
 	}
+	if s.warming.Load() {
+		s.writeError(w, shedf(time.Second, "store recovery in progress"))
+		return
+	}
 	body, err := s.readBody(w, r)
 	if err != nil {
 		s.writeError(w, classify(err))
@@ -243,24 +349,35 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	g, id, ierr := s.ingestGraph(body)
+	ing, ierr := s.ingestGraph(body)
 	if ierr != nil {
 		s.writeError(w, classify(ierr))
 		return
 	}
-	if e := s.cache.get(id); e != nil {
+	if e := s.cache.get(ing.id); e != nil {
 		defer s.cache.release(e)
 		s.writeJSON(w, http.StatusOK, s.graphInfo(e, true))
 		return
 	}
-	ws := core.NewWorkspace(g)
+	// Durability before visibility: journal the graph first, so the moment a
+	// concurrent identical upload can hit the cache entry below, the record
+	// backing it is already on disk.  A failed append fails this request and
+	// inserts nothing — the cache never holds a graph the journal does not.
+	unpend := s.notePending(pendingGraphKey(ing.id))
+	defer unpend()
+	if perr := s.persist(ing.rec); perr != nil {
+		s.writeError(w, perr)
+		return
+	}
+	ws := core.NewWorkspace(ing.g)
 	ws.SetSolverLimit(s.cfg.SolverLimit)
-	e, cerr := s.cache.add(id, ws, ws.FootprintBytes(s.cfg.SolverLimit))
+	e, _, cerr := s.cache.add(ing.id, ws, ws.FootprintBytes(s.cfg.SolverLimit))
 	if cerr != nil {
 		s.writeError(w, classify(cerr))
 		return
 	}
 	defer s.cache.release(e)
+	s.maybeCompact()
 	s.writeJSON(w, http.StatusCreated, s.graphInfo(e, false))
 }
 
@@ -270,6 +387,12 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	id, engine, hasEngine := strings.Cut(rest, "/")
 	if id == "" || strings.Contains(engine, "/") {
 		s.writeError(w, notFoundf("%s", r.URL.Path))
+		return
+	}
+	if s.warming.Load() {
+		// A half-replayed cache would answer "not cached" for graphs the log
+		// is about to restore; shed instead of lying.
+		s.writeError(w, shedf(time.Second, "store recovery in progress"))
 		return
 	}
 	if !hasEngine {
@@ -359,7 +482,21 @@ func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request, id, engine
 		s.writeError(w, internalf("marshal response: %v", merr))
 		return
 	}
+	// Journal the memo before it becomes replayable, mirroring the upload
+	// path.  Oversized bodies are never memoized, so they are never journaled
+	// either.  On append failure the response is NOT acknowledged and NOT
+	// memoized: a retry recomputes and re-journals, so the cache never holds
+	// a replayable body the journal does not.
+	if s.storeActive() && int64(len(buf)) <= s.cfg.MaxMemoEntry {
+		unpend := s.notePending(pendingMemoKey(id, reqHash))
+		defer unpend()
+		if perr := s.persist(store.Record{Kind: store.KindMemo, Key: id, Sub: reqHash, Value: buf}); perr != nil {
+			s.writeError(w, perr)
+			return
+		}
+	}
 	s.cache.memoPut(e, reqHash, buf)
+	s.maybeCompact()
 	s.writeRaw(w, http.StatusOK, buf)
 }
 
@@ -492,7 +629,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		done <- err
 	}()
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		s.Close()
 		return err
 	}
-	return <-done
+	err := <-done
+	// The drain is complete: flush the journal's final batch and release it.
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

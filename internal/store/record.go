@@ -1,0 +1,212 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags what a record holds.  The store treats kinds opaquely — they
+// exist so the serving layer can route records on recovery and so compaction
+// filters can tell a graph from a memo without parsing values.
+type Kind uint8
+
+const (
+	// KindGraphJSON holds the canonical cdag JSON bytes of an uploaded
+	// graph; Key is the graph's content-hash ID.
+	KindGraphJSON Kind = 1
+	// KindGraphSpec holds the canonical generator-spec JSON of a generated
+	// graph; Key is the graph's content-hash ID.  Specs are journaled
+	// instead of the materialized graph because rebuilding a stencil from
+	// its spec is cheaper than parsing a million-vertex JSON dump.
+	KindGraphSpec Kind = 2
+	// KindMemo holds one memoized engine response body; Key is the graph ID
+	// it belongs to and Sub the request hash.
+	KindMemo Kind = 3
+)
+
+// Record is one durable entry: a kind, up to two string keys, and the value
+// bytes.  Records are content-addressed by their keys — appending the same
+// (Kind, Key, Sub) twice is harmless (the values are identical by
+// construction) and compaction keeps only the first occurrence.
+type Record struct {
+	Kind  Kind
+	Key   string
+	Sub   string
+	Value []byte
+}
+
+// The on-disk frame format, all integers little-endian:
+//
+//	[0:4)  magic 0xcd 0xa6 0x0d 0x17
+//	[4:8)  payload length (uint32)
+//	[8:12) CRC32C (Castagnoli) of the payload
+//	[12:)  payload
+//
+// and the payload encodes the record as
+//
+//	[kind:1][uvarint len(Key)][Key][uvarint len(Sub)][Sub][Value...]
+//
+// The magic exists purely for recovery: after a checksum failure the scanner
+// can hunt forward for the next plausible frame boundary and resynchronize,
+// so one corrupt interior record costs one record, not the rest of the log.
+var frameMagic = [4]byte{0xcd, 0xa6, 0x0d, 0x17}
+
+const frameHeaderSize = 12
+
+// crcTable is the Castagnoli polynomial table; CRC32C has hardware support
+// on every platform this runs on, so checksumming is nearly free next to the
+// write itself.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord reports a payload that passed framing but does not decode
+// as a record.  Recovery counts these as corruption and keeps scanning.
+var ErrCorruptRecord = errors.New("store: corrupt record payload")
+
+// encodeRecord renders the record payload (the checksummed part of a frame).
+func encodeRecord(rec Record) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(rec.Key)+len(rec.Sub)+len(rec.Value))
+	payload = append(payload, byte(rec.Kind))
+	n := binary.PutUvarint(lenBuf[:], uint64(len(rec.Key)))
+	payload = append(payload, lenBuf[:n]...)
+	payload = append(payload, rec.Key...)
+	n = binary.PutUvarint(lenBuf[:], uint64(len(rec.Sub)))
+	payload = append(payload, lenBuf[:n]...)
+	payload = append(payload, rec.Sub...)
+	payload = append(payload, rec.Value...)
+	return payload
+}
+
+// uvarintLen is the length of the minimal uvarint encoding of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decodeRecord parses a frame payload back into a Record.  It must be total:
+// recovery feeds it arbitrary bytes that happened to pass the checksum of a
+// hostile or corrupted log, so every length is validated before any slice.
+// Non-minimal varints are rejected — the store only reads what it wrote, so
+// decode∘encode is an exact fixed point on every accepted payload.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 1 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrCorruptRecord)
+	}
+	kind := Kind(payload[0])
+	rest := payload[1:]
+	keyLen, n := binary.Uvarint(rest)
+	if n <= 0 || n != uvarintLen(keyLen) || keyLen > uint64(len(rest)-n) {
+		return Record{}, fmt.Errorf("%w: bad key length", ErrCorruptRecord)
+	}
+	rest = rest[n:]
+	subLen, n := binary.Uvarint(rest[keyLen:])
+	if n <= 0 || n != uvarintLen(subLen) || subLen > uint64(len(rest))-keyLen-uint64(n) {
+		return Record{}, fmt.Errorf("%w: bad sub length", ErrCorruptRecord)
+	}
+	key := string(rest[:keyLen])
+	rest = rest[keyLen+uint64(n):]
+	sub := string(rest[:subLen])
+	value := append([]byte(nil), rest[subLen:]...)
+	return Record{Kind: kind, Key: key, Sub: sub, Value: value}, nil
+}
+
+// encodeFrame renders a complete frame: header plus payload.
+func encodeFrame(rec Record) []byte {
+	payload := encodeRecord(rec)
+	frame := make([]byte, frameHeaderSize+len(payload))
+	copy(frame, frameMagic[:])
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderSize:], payload)
+	return frame
+}
+
+// frameAt validates the frame starting at buf[off]: magic, a length that fits
+// in the remaining bytes and under maxPayload, and the checksum.  On success
+// it returns the payload and the offset one past the frame.
+func frameAt(buf []byte, off int, maxPayload int) (payload []byte, next int, ok bool) {
+	if len(buf)-off < frameHeaderSize {
+		return nil, 0, false
+	}
+	if [4]byte(buf[off:off+4]) != frameMagic {
+		return nil, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[off+4:]))
+	if plen > maxPayload || plen > len(buf)-off-frameHeaderSize {
+		return nil, 0, false
+	}
+	payload = buf[off+frameHeaderSize : off+frameHeaderSize+plen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[off+8:]) {
+		return nil, 0, false
+	}
+	return payload, off + frameHeaderSize + plen, true
+}
+
+// nextFrame scans forward from buf[from] for the next offset holding a fully
+// valid frame — the resynchronization step after a checksum failure.  A
+// magic match alone is not enough (graph bytes can contain the magic by
+// chance), so candidates must also pass length and checksum validation.
+// Returns -1 if no valid frame exists in the rest of buf.
+func nextFrame(buf []byte, from int, maxPayload int) int {
+	for off := from; off+frameHeaderSize <= len(buf); off++ {
+		if buf[off] != frameMagic[0] {
+			continue
+		}
+		if _, _, ok := frameAt(buf, off, maxPayload); ok {
+			return off
+		}
+	}
+	return -1
+}
+
+// scanStats summarizes one pass of scanLog over a log image.
+type scanStats struct {
+	records   int   // frames that decoded into records
+	corrupt   int   // corruption events skipped by resynchronization
+	truncated int64 // torn-tail bytes past the last valid frame
+	goodEnd   int64 // offset one past the last valid frame
+}
+
+// scanLog walks a log image frame by frame, yielding every record that
+// passes its checksum.  A frame that fails validation triggers a forward
+// resynchronization scan: if a later valid frame exists the gap counts as
+// one corruption event and scanning continues there; if not, the remainder
+// is a torn tail and scanning stops (goodEnd marks where to truncate).
+func scanLog(buf []byte, maxPayload int, yield func(Record)) scanStats {
+	var st scanStats
+	off := 0
+	for off < len(buf) {
+		payload, next, ok := frameAt(buf, off, maxPayload)
+		if !ok {
+			resync := nextFrame(buf, off+1, maxPayload)
+			if resync < 0 {
+				st.truncated = int64(len(buf) - off)
+				break
+			}
+			st.corrupt++
+			off = resync
+			continue
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// Well-framed but undecodable: checksum-valid garbage (only
+			// reachable through a hostile log).  Count it and move on.
+			st.corrupt++
+			off = next
+			continue
+		}
+		st.records++
+		if yield != nil {
+			yield(rec)
+		}
+		off = next
+	}
+	st.goodEnd = int64(len(buf)) - st.truncated
+	return st
+}

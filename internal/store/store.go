@@ -1,0 +1,438 @@
+// Package store is the daemon's durable, crash-safe, content-addressed
+// record store: an append-only log of length-prefixed, CRC32C-checksummed
+// frames holding uploaded canonical graph bytes and memoized response
+// bodies, keyed by the serving layer's sha256 content / request hashes.
+//
+// Durability contract: Append returns only after the record's frame has been
+// written and (unless fsync is disabled) fsynced — concurrent appends are
+// group-committed, so a burst of requests shares one fsync.  Recovery scans
+// the log, verifies every checksum, truncates a torn tail, and skips corrupt
+// interior records with a counter instead of refusing to boot.  Compaction
+// streams the live subset of the log into a temp file and atomically renames
+// it over the old log, so a crash at any point leaves either the old or the
+// new log intact — never a mix.
+//
+// Fault-injection points (internal/fault): "store.append.torn" forces a
+// short write of the current frame, "store.append.fsync" forces the batch
+// fsync to fail, and "store.compact.rename" crashes compaction between
+// writing the temp file and renaming it.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cdagio/internal/fault"
+)
+
+const (
+	logName = "log.bin"
+	tmpName = "log.tmp"
+)
+
+// ErrClosed reports an operation on a closed (or abandoned) store.
+var ErrClosed = errors.New("store: closed")
+
+// Options tunes a Store.  The zero value is valid: fsync on every commit
+// batch, 1 GiB record cap, 256 queued appends.
+type Options struct {
+	// NoFsync skips the per-batch fsync.  Appends then survive process
+	// crashes (the write itself still lands in the OS page cache) but not
+	// power loss; tests and throwaway deployments use it for speed.
+	NoFsync bool
+	// MaxRecordBytes caps a single record payload, on append and on
+	// recovery (a corrupt length field must not allocate gigabytes).
+	// Default 1 GiB.
+	MaxRecordBytes int
+	// QueueDepth bounds appends waiting for the writer goroutine
+	// (default 256).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 1 << 30
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// RecoverStats summarizes one recovery pass for the daemon's health surface.
+type RecoverStats struct {
+	// Records is the number of checksum-valid records replayed.
+	Records int
+	// CorruptRecords counts interior corruption events: gaps where one or
+	// more frames failed their checksum but a later valid frame existed to
+	// resynchronize on.
+	CorruptRecords int
+	// TruncatedBytes is the torn tail dropped from the end of the log — the
+	// residue of a crash mid-append.
+	TruncatedBytes int64
+	// LogBytes is the log size after truncation.
+	LogBytes int64
+}
+
+// appendReq is one record waiting for the writer goroutine; done receives
+// exactly one error (nil = durable).
+type appendReq struct {
+	frame []byte
+	done  chan error
+}
+
+// Store is the append-only record log.  Open it, Recover it exactly once,
+// then Append/Compact freely from any goroutine.
+type Store struct {
+	dir string
+	opt Options
+
+	// mu guards the log file handle and size against the writer goroutine,
+	// compaction's file swap, and recovery's truncation.
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+
+	recoverCalled atomic.Bool // Recover invoked (guards double recovery)
+	recovered     atomic.Bool // Recover succeeded; writer running, appends allowed
+	closed        atomic.Bool
+
+	appendCh chan *appendReq
+	quit     chan struct{} // closed by Close/Abandon; writer drains and exits
+	writerWG sync.WaitGroup
+}
+
+// Open opens (creating if needed) the record log in dir.  A leftover temp
+// file from a compaction that crashed before its rename is deleted — the old
+// log is still the authoritative state.  Open does not scan the log; call
+// Recover before the first Append.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	// A crashed compaction can leave a temp file behind; it was never
+	// renamed, so it is dead weight.
+	_ = os.Remove(filepath.Join(dir, tmpName))
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open log: %w", err)
+	}
+	opt = opt.withDefaults()
+	return &Store{
+		dir:      dir,
+		opt:      opt,
+		f:        f,
+		appendCh: make(chan *appendReq, opt.QueueDepth),
+		quit:     make(chan struct{}),
+	}, nil
+}
+
+// Recover scans the log once: every checksum-valid record is passed to apply
+// in append order, a torn tail is truncated off the file, and corrupt
+// interior regions are skipped (counted in the returned stats).  It must be
+// called exactly once, before the first Append; it also starts the writer
+// goroutine, so a store that is never Recovered never accepts appends.
+func (s *Store) Recover(apply func(Record)) (RecoverStats, error) {
+	fault.Inject("store.recover")
+	if s.recoverCalled.Swap(true) {
+		return RecoverStats{}, errors.New("store: Recover called twice")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil {
+		return RecoverStats{}, fmt.Errorf("store: read log: %w", err)
+	}
+	sc := scanLog(buf, s.opt.MaxRecordBytes, apply)
+	if sc.goodEnd < int64(len(buf)) {
+		if err := s.f.Truncate(sc.goodEnd); err != nil {
+			return RecoverStats{}, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(sc.goodEnd, 0); err != nil {
+		return RecoverStats{}, fmt.Errorf("store: seek: %w", err)
+	}
+	s.size = sc.goodEnd
+	s.recovered.Store(true)
+	s.writerWG.Add(1)
+	go s.writer()
+	return RecoverStats{
+		Records:        sc.records,
+		CorruptRecords: sc.corrupt,
+		TruncatedBytes: sc.truncated,
+		LogBytes:       sc.goodEnd,
+	}, nil
+}
+
+// Append journals one record and returns once it is durable (written, and
+// fsynced unless NoFsync).  Concurrent appends are batched behind one fsync.
+// An error means the record may or may not survive a crash — the caller must
+// not acknowledge whatever the record was protecting.
+func (s *Store) Append(rec Record) error {
+	frame := encodeFrame(rec)
+	if len(frame)-frameHeaderSize > s.opt.MaxRecordBytes {
+		return fmt.Errorf("store: record payload %d bytes exceeds cap %d",
+			len(frame)-frameHeaderSize, s.opt.MaxRecordBytes)
+	}
+	if !s.recovered.Load() {
+		return errors.New("store: Append before Recover")
+	}
+	req := &appendReq{frame: frame, done: make(chan error, 1)}
+	select {
+	case s.appendCh <- req:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-s.quit:
+		// The writer drains the queue on shutdown and answers every pending
+		// request, so this only races a concurrent Close; prefer the real
+		// answer when it is already there.
+		select {
+		case err := <-req.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// writer is the single goroutine that owns log writes: it drains whatever
+// appends are pending, writes their frames, fsyncs once for the whole batch
+// (group commit), and only then completes them.  One fsync per burst is what
+// keeps durable acknowledgment off the request hot path's critical section.
+func (s *Store) writer() {
+	defer s.writerWG.Done()
+	for {
+		var first *appendReq
+		select {
+		case first = <-s.appendCh:
+		case <-s.quit:
+			s.drainPending(ErrClosed)
+			return
+		}
+		batch := []*appendReq{first}
+	drain:
+		for len(batch) < 64 {
+			select {
+			case r := <-s.appendCh:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.commit(batch)
+	}
+}
+
+// commit writes and fsyncs one batch.  A write failure (including an
+// injected torn write) fails only that record — later frames still land, and
+// recovery's resynchronization skips the torn one.  An fsync failure fails
+// the whole batch: every frame was written, but none is provably durable.
+func (s *Store) commit(batch []*appendReq) {
+	s.mu.Lock()
+	errs := make([]error, len(batch))
+	wrote := false
+	for i, r := range batch {
+		errs[i] = s.writeFrame(r.frame)
+		wrote = wrote || errs[i] == nil
+	}
+	var syncErr error
+	if wrote {
+		syncErr = s.syncLocked()
+	}
+	s.mu.Unlock()
+	for i, r := range batch {
+		if errs[i] == nil {
+			errs[i] = syncErr
+		}
+		r.done <- errs[i]
+	}
+}
+
+// writeFrame appends one frame to the log.  Caller holds s.mu.
+func (s *Store) writeFrame(frame []byte) error {
+	if err := injectErr("store.append.torn"); err != nil {
+		// Simulate a crash mid-write: half the frame lands, the rest never
+		// does.  The log now ends (or continues) with a torn frame, exactly
+		// what a SIGKILL between two write(2) calls would leave behind.
+		n, _ := s.f.Write(frame[:len(frame)/2])
+		s.size += int64(n)
+		return err
+	}
+	n, err := s.f.Write(frame)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	return nil
+}
+
+// syncLocked makes the written frames durable.  Caller holds s.mu.
+func (s *Store) syncLocked() error {
+	if err := injectErr("store.append.fsync"); err != nil {
+		return err
+	}
+	if s.opt.NoFsync {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	return nil
+}
+
+// drainPending answers every queued append after quit, so no caller blocks
+// forever on a closed store.
+func (s *Store) drainPending(err error) {
+	for {
+		select {
+		case r := <-s.appendCh:
+			r.done <- err
+		default:
+			return
+		}
+	}
+}
+
+// injectErr fires the named fault point and converts an injected panic into
+// an error, so a test hook can force an I/O failure (not just a goroutine
+// crash) at the seams where the store must degrade gracefully.
+func injectErr(point string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("store: injected fault at %s: %v", point, r)
+		}
+	}()
+	fault.Inject(point)
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Compact rewrites the log down to the records keep accepts, dropping
+// everything else (evicted graphs, orphaned memos, duplicate appends — only
+// the first occurrence of a (Kind, Key, Sub) is offered to keep).  The new
+// log is written to a temp file, fsynced, and atomically renamed over the
+// old one; a crash before the rename leaves the old log authoritative (Open
+// deletes the orphan temp file), a crash after leaves the new one.  Appends
+// block for the duration.
+func (s *Store) Compact(keep func(Record) bool) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	buf, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil {
+		return fmt.Errorf("store: compact read: %w", err)
+	}
+	tmpPath := filepath.Join(s.dir, tmpName)
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact temp: %w", err)
+	}
+	var newSize int64
+	seen := map[string]struct{}{}
+	var werr error
+	scanLog(buf, s.opt.MaxRecordBytes, func(rec Record) {
+		if werr != nil {
+			return
+		}
+		dedup := string([]byte{byte(rec.Kind)}) + rec.Key + "\x00" + rec.Sub
+		if _, dup := seen[dedup]; dup {
+			return
+		}
+		seen[dedup] = struct{}{}
+		if !keep(rec) {
+			return
+		}
+		n, err := tmp.Write(encodeFrame(rec))
+		newSize += int64(n)
+		werr = err
+	})
+	if werr == nil && !s.opt.NoFsync {
+		werr = tmp.Sync()
+	}
+	if werr == nil {
+		werr = injectErr("store.compact.rename")
+	}
+	if werr != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", werr)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	// The rename is the commit point.  tmp's descriptor now names the live
+	// log file; swap it in and retire the old handle.
+	if _, err := tmp.Seek(newSize, 0); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact seek: %w", err)
+	}
+	s.fsyncDir()
+	old := s.f
+	s.f = tmp
+	s.size = newSize
+	old.Close()
+	return nil
+}
+
+// fsyncDir flushes the directory entry after a rename, so the compacted log
+// name itself survives power loss.  Best-effort: some filesystems reject
+// directory fsync, and the data frames are already durable either way.
+func (s *Store) fsyncDir() {
+	if s.opt.NoFsync {
+		return
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close stops the writer, fsyncs, and closes the log.  Pending appends that
+// the writer has not yet committed fail with ErrClosed.
+func (s *Store) Close() error {
+	return s.shutdown(true)
+}
+
+// Abandon closes the store without the final fsync — the in-process stand-in
+// for SIGKILL.  Every frame already handed to write(2) stays visible to a
+// reopening store (the OS page cache survives process death); anything still
+// queued is lost, exactly as a kill would lose it.  Tests use this to build
+// kill-restart scenarios without leaving the process.
+func (s *Store) Abandon() error {
+	return s.shutdown(false)
+}
+
+func (s *Store) shutdown(sync bool) error {
+	if s.closed.Swap(true) {
+		return ErrClosed
+	}
+	close(s.quit)
+	if s.recovered.Load() {
+		s.writerWG.Wait()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sync && !s.opt.NoFsync {
+		s.f.Sync()
+	}
+	return s.f.Close()
+}

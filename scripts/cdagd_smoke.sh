@@ -55,3 +55,77 @@ if ! wait "$pid"; then
 fi
 grep -q "drained cleanly" "$workdir/out.log" || { echo "no clean-drain message:"; cat "$workdir/out.log"; exit 1; }
 echo "cdagd smoke OK"
+
+# ---- Persistence leg: kill -9, restart on the same journal, replay ----------
+# A daemon with -store-dir journals every upload and memoized response.  After
+# a hard kill (no drain, no chance to flush anything beyond what Append
+# already fsynced), a restart on the same directory must replay the analysis
+# acknowledged before the kill byte-for-byte, as a memo hit.
+
+storedir="$workdir/store"
+"$workdir/cdagd" -addr 127.0.0.1:0 -store-dir "$storedir" >"$workdir/out2.log" 2>&1 &
+pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's#^cdagd: listening on \(http://[0-9.:]*\)$#\1#p' "$workdir/out2.log" || true)"
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "cdagd (store) died on startup:"; cat "$workdir/out2.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "cdagd (store) never reported its address:"; cat "$workdir/out2.log"; exit 1; }
+echo "persistent daemon at $base (journal in $storedir)"
+
+# Wait out warm-restart recovery (trivially fast on an empty journal).
+for _ in $(seq 1 100); do
+    curl -sf "$base/readyz" >/dev/null && break
+    sleep 0.1
+done
+curl -sf "$base/readyz" >/dev/null || fail "persistent daemon never became ready"
+
+id="$(curl -sf -X POST "$base/v1/graphs" -d '{"gen":{"kind":"tree","n":64}}' \
+    | sed -n 's/.*"id":"\(sha256:[0-9a-f]*\)".*/\1/p')"
+[ -n "$id" ] || fail "upload (store) returned no graph ID"
+analysis="$(curl -sf -X POST "$base/v1/graphs/$id/analyze" -d '{"s":4}')" \
+    || fail "analyze (store) request failed"
+echo "$analysis" | grep -q '"measured_io"' || fail "analysis (store) has no measured_io: $analysis"
+
+# Hard kill: SIGKILL, no drain, no goodbye.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+[ -s "$storedir/log.bin" ] || { echo "journal is empty after kill -9"; exit 1; }
+
+# Restart on the same journal.
+"$workdir/cdagd" -addr 127.0.0.1:0 -store-dir "$storedir" >"$workdir/out3.log" 2>&1 &
+pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's#^cdagd: listening on \(http://[0-9.:]*\)$#\1#p' "$workdir/out3.log" || true)"
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "cdagd (restart) died on startup:"; cat "$workdir/out3.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "cdagd (restart) never reported its address:"; cat "$workdir/out3.log"; exit 1; }
+for _ in $(seq 1 100); do
+    curl -sf "$base/readyz" >/dev/null && break
+    sleep 0.1
+done
+curl -sf "$base/readyz" >/dev/null || fail "restarted daemon never became ready"
+
+# The identical request must replay from the journal-warmed memo, bit-identically.
+replay_headers="$workdir/replay_headers"
+replay="$(curl -sf -D "$replay_headers" -X POST "$base/v1/graphs/$id/analyze" -d '{"s":4}')" \
+    || fail "replay analyze failed after restart"
+grep -qi '^X-Cdagd-Memo: hit' "$replay_headers" || fail "replay was not a memo hit"
+[ "$replay" = "$analysis" ] || fail "replay differs from pre-kill analysis:
+  pre-kill:  $analysis
+  post-kill: $replay"
+echo "kill -9 replay OK (memo hit, bit-identical)"
+
+# And the persistent daemon still drains cleanly.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "restarted cdagd exited non-zero after SIGTERM:"; cat "$workdir/out3.log"; exit 1
+fi
+grep -q "drained cleanly" "$workdir/out3.log" || { echo "no clean-drain message:"; cat "$workdir/out3.log"; exit 1; }
+echo "cdagd persistence smoke OK"
