@@ -1,0 +1,50 @@
+// Command cdaglint is the repository's multichecker: it runs the cdaglint
+// analyzer suite (hotloop, determinism, ctxflow, faultpoint, errtaxonomy)
+// over the requested packages and fails if any invariant is broken.
+//
+// Usage:
+//
+//	go run ./cmd/cdaglint ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on an
+// operational error (a package that does not build, a go list failure).
+//
+// Intentional exceptions are annotated in place:
+//
+//	//cdaglint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a bare allow is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdagio/internal/lint"
+	"cdagio/internal/lint/driver"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cdaglint [packages]\n\nruns the cdaglint analyzer suite; see internal/lint for the invariants.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdaglint:", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Main(os.Stdout, dir, flag.Args(), lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdaglint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "cdaglint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -100,6 +100,7 @@ func (a *Analysis) Gap() float64 {
 // cdagio.Open at the facade — and reuse the handle across analyses of the
 // same graph.  The results are bit-identical.
 func Analyze(g *cdag.Graph, opts Options) (*Analysis, error) {
+	//cdaglint:allow ctxflow deprecated pre-PR-5 entry point; contract is a never-cancelled run
 	return NewWorkspace(g).Analyze(context.Background(), opts)
 }
 

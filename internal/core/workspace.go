@@ -184,6 +184,7 @@ func (w *Workspace) OptimalIO(ctx context.Context, variant pebble.Variant, s int
 // and forced drains reach long plays on large graphs.
 func (w *Workspace) Play(variant pebble.Variant, s int, order []cdag.VertexID,
 	policy pebble.EvictionPolicy, record bool) (pebble.Result, error) {
+	//cdaglint:allow ctxflow Play's documented contract is an uncancellable run; PlayCtx is the ctx path
 	return w.PlayCtx(context.Background(), variant, s, order, policy, record)
 }
 

@@ -1,0 +1,62 @@
+package fault
+
+import "fmt"
+
+// The registered fault points.  Every Inject/Capture/InjectErr call site in
+// the repository must name its point through one of these constants — never
+// a loose string literal — so a typo'd point is a compile error (or a
+// cdaglint faultpoint diagnostic) instead of a chaos test that silently
+// never fires.  The cdaglint faultpoint analyzer enforces the call-site
+// rule, checks these values are pairwise distinct, and checks Points lists
+// each exactly once; the registry test in points_test.go checks every point
+// is actually referenced by at least one test in the module.
+const (
+	// PointWMaxWorker wraps each w^max candidate-scan worker job
+	// (internal/graphalg).
+	PointWMaxWorker = "graphalg.wmax.worker"
+	// PointMemsimSweepWorker wraps each memory-simulation sweep worker job
+	// (internal/memsim).
+	PointMemsimSweepWorker = "memsim.sweep.worker"
+	// PointPRBWPlay fires inside the P-RBW player's step loop
+	// (internal/prbw).
+	PointPRBWPlay = "prbw.play"
+	// PointStoreAppendTorn forces a short write of the frame being appended,
+	// simulating a crash between two write(2) calls (internal/store).
+	PointStoreAppendTorn = "store.append.torn"
+	// PointStoreAppendFsync forces the group-commit fsync to fail
+	// (internal/store).
+	PointStoreAppendFsync = "store.append.fsync"
+	// PointStoreCompactRename crashes compaction after the temp log is
+	// written but before the atomic rename (internal/store).
+	PointStoreCompactRename = "store.compact.rename"
+	// PointStoreRecover fires at the start of journal recovery
+	// (internal/store).
+	PointStoreRecover = "store.recover"
+)
+
+// Points is the registry: every fault point in the repository, exactly once.
+// Tests iterate it to assert coverage; the cdaglint faultpoint analyzer
+// checks it stays in sync with the constants above.
+var Points = []string{
+	PointWMaxWorker,
+	PointMemsimSweepWorker,
+	PointPRBWPlay,
+	PointStoreAppendTorn,
+	PointStoreAppendFsync,
+	PointStoreCompactRename,
+	PointStoreRecover,
+}
+
+// InjectErr fires the named fault point and converts an injected panic into
+// an error, so a test hook can force an I/O failure (not just a goroutine
+// crash) at seams that must degrade gracefully rather than crash — the
+// store's write/fsync/rename paths are the canonical users.
+func InjectErr(point string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fault: injected at %s: %v", point, r)
+		}
+	}()
+	Inject(point)
+	return nil
+}

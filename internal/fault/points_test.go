@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPointsRegistry pins the registry's internal invariants: every point is
+// non-empty, dotted ("pkg.site" at minimum), and pairwise distinct.  The
+// cdaglint faultpoint analyzer enforces the same properties statically; this
+// test keeps them under plain `go test` too.
+func TestPointsRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points {
+		if p == "" {
+			t.Fatal("empty fault point in registry")
+		}
+		if !strings.Contains(p, ".") {
+			t.Fatalf("fault point %q is not dotted (want pkg.site)", p)
+		}
+		if seen[p] {
+			t.Fatalf("fault point %q registered twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestEveryPointIsExercisedByATest is the anti-rot check behind the
+// faultpoint analyzer: a registered point that no test references is a chaos
+// hook that never fires — exactly the silent-typo failure mode the registry
+// exists to prevent.  The test walks every _test.go file in the module
+// (excluding this one, vendored code and lint fixtures) and requires each
+// registered point to be referenced either through its constant name
+// (fault.PointX) or by its literal string value.
+func TestEveryPointIsExercisedByATest(t *testing.T) {
+	root := moduleRoot(t)
+	names := map[string]string{ // const name -> value
+		"PointWMaxWorker":         PointWMaxWorker,
+		"PointMemsimSweepWorker":  PointMemsimSweepWorker,
+		"PointPRBWPlay":           PointPRBWPlay,
+		"PointStoreAppendTorn":    PointStoreAppendTorn,
+		"PointStoreAppendFsync":   PointStoreAppendFsync,
+		"PointStoreCompactRename": PointStoreCompactRename,
+		"PointStoreRecover":       PointStoreRecover,
+	}
+	if len(names) != len(Points) {
+		t.Fatalf("test name map lists %d points, registry has %d — update both together",
+			len(names), len(Points))
+	}
+
+	referenced := map[string]bool{} // point value -> seen in some test
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") || strings.HasSuffix(path, "points_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind == token.STRING {
+					v := strings.Trim(n.Value, "`\"")
+					if _, ok := referenced[v]; false || ok || containsValue(names, v) {
+						referenced[v] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if val, ok := names[n.Sel.Name]; ok {
+					referenced[val] = true
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Points {
+		if !referenced[p] {
+			t.Errorf("fault point %q is registered but no _test.go file references it — "+
+				"a chaos test must exercise every registered point", p)
+		}
+	}
+}
+
+func containsValue(m map[string]string, v string) bool {
+	for _, mv := range m {
+		if mv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

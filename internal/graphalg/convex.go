@@ -27,8 +27,9 @@ func (c ConvexCut) Validate(g *cdag.Graph) error {
 		return fmt.Errorf("graphalg: S and T do not partition V (|S|=%d |T|=%d |V|=%d)",
 			c.S.Len(), c.T.Len(), n)
 	}
+	succOff, succVal := g.SuccessorCSR()
 	for _, v := range c.T.Elements() {
-		for _, w := range g.Succ(v) {
+		for _, w := range succVal[succOff[v]:succOff[v+1]] {
 			if c.S.Contains(w) {
 				return fmt.Errorf("graphalg: edge %d->%d runs from T to S", v, w)
 			}
@@ -41,8 +42,9 @@ func (c ConvexCut) Validate(g *cdag.Graph) error {
 // in T — the wavefront induced by the cut.
 func (c ConvexCut) Boundary(g *cdag.Graph) *cdag.VertexSet {
 	b := cdag.NewVertexSet(g.NumVertices())
+	succOff, succVal := g.SuccessorCSR()
 	for _, v := range c.S.Elements() {
-		for _, w := range g.Succ(v) {
+		for _, w := range succVal[succOff[v]:succOff[v+1]] {
 			if c.T.Contains(w) {
 				b.Add(v)
 				break

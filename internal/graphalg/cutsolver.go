@@ -619,6 +619,7 @@ func (cs *CutSolver) ensureStatic(g *cdag.Graph) {
 		f.adjArc[f.adjOff[u]+f.adjLen[u]] = a
 		f.adjLen[u]++
 	}
+	succOff, succVal := g.SuccessorCSR()
 	arc := int32(0)
 	for v := 0; v < n; v++ {
 		vIn, vOut := int32(2*v), int32(2*v+1)
@@ -628,7 +629,7 @@ func (cs *CutSolver) ensureStatic(g *cdag.Graph) {
 		place(vIn, arc)
 		place(vOut, arc+1)
 		arc += 2
-		for _, w := range g.Succ(cdag.VertexID(v)) {
+		for _, w := range succVal[succOff[v]:succOff[v+1]] {
 			wIn := int32(2 * w)
 			f.to[arc], f.cap[arc] = wIn, flowInf
 			f.to[arc+1], f.cap[arc+1] = vOut, 0
@@ -770,6 +771,7 @@ func (cs *CutSolver) freshVertexSplit(g *cdag.Graph, sources, targets []cdag.Ver
 	n := cs.n
 	f := &cs.strip
 	f.resetStage()
+	succOff, succVal := g.SuccessorCSR()
 	for v := 0; v < n; v++ {
 		id := cdag.VertexID(v)
 		capV := int64(1)
@@ -777,7 +779,7 @@ func (cs *CutSolver) freshVertexSplit(g *cdag.Graph, sources, targets []cdag.Ver
 			capV = flowInf
 		}
 		f.stageEdge(int32(2*v), int32(2*v+1), capV)
-		for _, w := range g.Succ(id) {
+		for _, w := range succVal[succOff[v]:succOff[v+1]] {
 			f.stageEdge(int32(2*v+1), int32(2*w), flowInf)
 		}
 	}

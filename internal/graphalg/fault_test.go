@@ -23,7 +23,7 @@ func TestWMaxWorkerPanicIsIsolated(t *testing.T) {
 
 	var fired atomic.Int64
 	restore := fault.SetHook(func(point string) {
-		if point == wmaxWorkerFault && fired.Add(1) == 3 {
+		if point == fault.PointWMaxWorker && fired.Add(1) == 3 {
 			panic("injected wmax worker crash")
 		}
 	})
@@ -34,8 +34,8 @@ func TestWMaxWorkerPanicIsIsolated(t *testing.T) {
 	if !errors.As(err, &pe) {
 		t.Fatalf("injected panic surfaced as %v, want *fault.PanicError", err)
 	}
-	if pe.Label != wmaxWorkerFault {
-		t.Fatalf("PanicError label %q, want %q", pe.Label, wmaxWorkerFault)
+	if pe.Label != fault.PointWMaxWorker {
+		t.Fatalf("PanicError label %q, want %q", pe.Label, fault.PointWMaxWorker)
 	}
 
 	for i := 0; i < 2; i++ {
@@ -56,7 +56,7 @@ func TestWMaxWorkerPanicIsIsolated(t *testing.T) {
 func TestWMaxLegacyEntryPropagatesPanic(t *testing.T) {
 	g := gen.Chain(16)
 	restore := fault.SetHook(func(point string) {
-		if point == wmaxWorkerFault {
+		if point == fault.PointWMaxWorker {
 			panic("injected")
 		}
 	})

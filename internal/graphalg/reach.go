@@ -5,19 +5,23 @@ import "cdagio/internal/cdag"
 // Descendants returns the set of vertices reachable from v by directed paths
 // of length ≥ 1 (v itself is excluded).
 func Descendants(g *cdag.Graph, v cdag.VertexID) *cdag.VertexSet {
-	return reach(g, v, g.Succ)
+	off, val := g.SuccessorCSR()
+	return reach(g, v, off, val)
 }
 
 // Ancestors returns the set of vertices from which v is reachable by directed
 // paths of length ≥ 1 (v itself is excluded).
 func Ancestors(g *cdag.Graph, v cdag.VertexID) *cdag.VertexSet {
-	return reach(g, v, g.Pred)
+	off, val := g.PredecessorCSR()
+	return reach(g, v, off, val)
 }
 
-func reach(g *cdag.Graph, v cdag.VertexID, next func(cdag.VertexID) []cdag.VertexID) *cdag.VertexSet {
+// reach sweeps the hoisted CSR rows (successor rows for Descendants,
+// predecessor rows for Ancestors) from v.
+func reach(g *cdag.Graph, v cdag.VertexID, off []int64, val []cdag.VertexID) *cdag.VertexSet {
 	seen := cdag.NewVertexSet(g.NumVertices())
 	var stack []cdag.VertexID
-	for _, w := range next(v) {
+	for _, w := range val[off[v]:off[v+1]] {
 		if seen.Add(w) {
 			stack = append(stack, w)
 		}
@@ -27,7 +31,7 @@ func reach(g *cdag.Graph, v cdag.VertexID, next func(cdag.VertexID) []cdag.Verte
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range next(u) {
+		for _, w := range val[off[u]:off[u+1]] {
 			if seen.Add(w) {
 				stack = append(stack, w)
 			}
@@ -39,6 +43,7 @@ func reach(g *cdag.Graph, v cdag.VertexID, next func(cdag.VertexID) []cdag.Verte
 // ReachableFrom returns the set of vertices reachable from any vertex in the
 // given source set, including the sources themselves.
 func ReachableFrom(g *cdag.Graph, sources []cdag.VertexID) *cdag.VertexSet {
+	off, val := g.SuccessorCSR()
 	seen := cdag.NewVertexSet(g.NumVertices())
 	stack := append([]cdag.VertexID(nil), sources...)
 	for len(stack) > 0 {
@@ -47,7 +52,7 @@ func ReachableFrom(g *cdag.Graph, sources []cdag.VertexID) *cdag.VertexSet {
 		if !seen.Add(u) {
 			continue
 		}
-		stack = append(stack, g.Succ(u)...)
+		stack = append(stack, val[off[u]:off[u+1]]...)
 	}
 	return seen
 }
@@ -55,6 +60,7 @@ func ReachableFrom(g *cdag.Graph, sources []cdag.VertexID) *cdag.VertexSet {
 // CoReachableTo returns the set of vertices from which some vertex in the
 // target set is reachable, including the targets themselves.
 func CoReachableTo(g *cdag.Graph, targets []cdag.VertexID) *cdag.VertexSet {
+	off, val := g.PredecessorCSR()
 	seen := cdag.NewVertexSet(g.NumVertices())
 	stack := append([]cdag.VertexID(nil), targets...)
 	for len(stack) > 0 {
@@ -63,7 +69,7 @@ func CoReachableTo(g *cdag.Graph, targets []cdag.VertexID) *cdag.VertexSet {
 		if !seen.Add(u) {
 			continue
 		}
-		stack = append(stack, g.Pred(u)...)
+		stack = append(stack, val[off[u]:off[u+1]]...)
 	}
 	return seen
 }
@@ -81,13 +87,14 @@ func HasPath(g *cdag.Graph, u, v cdag.VertexID) bool {
 // Descendants calls.
 func TransitiveClosure(g *cdag.Graph) []*cdag.VertexSet {
 	n := g.NumVertices()
+	succOff, succVal := g.SuccessorCSR()
 	closure := make([]*cdag.VertexSet, n)
 	order := g.MustTopoOrder()
 	// Process in reverse topological order so successors are already done.
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
 		set := cdag.NewVertexSet(n)
-		for _, w := range g.Succ(v) {
+		for _, w := range succVal[succOff[v]:succOff[v+1]] {
 			set.Add(w)
 			set.Union(closure[w])
 		}

@@ -220,6 +220,7 @@ func MaxMinWavefrontLowerBoundOpts(g *cdag.Graph, candidates []cdag.VertexID, op
 	// captured worker panic; this legacy entry point has no error return, so
 	// the crash propagates as it always did instead of being silently
 	// swallowed into a zero bound.
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	w, at, err := MaxMinWavefrontLowerBoundCtx(context.Background(), g, candidates, opts)
 	if err != nil {
 		panic(err)
@@ -400,12 +401,6 @@ func MaxMinWavefrontLowerBoundCtx(ctx context.Context, g *cdag.Graph, candidates
 	return bound, candidates[idx], nil
 }
 
-// wmaxWorkerFault is the fault-injection point inside every w^max scan
-// worker, triggered once per claimed candidate.  Tests install a fault.Hook
-// that panics or stalls here to prove one poisoned candidate fails one
-// search, never the process.
-const wmaxWorkerFault = "graphalg.wmax.worker"
-
 // parallelFor runs body(i) for i in [0, n) over the given number of worker
 // goroutines, each with its own CutSolver bound to g — drawn from pool when
 // one is supplied, freshly allocated otherwise.  Workers re-check ctx before
@@ -413,7 +408,8 @@ const wmaxWorkerFault = "graphalg.wmax.worker"
 // calls run to completion (the caller surfaces ctx.Err()).
 //
 // Every body call runs under fault.Capture: a panic inside a worker — from
-// the engine itself or injected at the wmaxWorkerFault point — is converted
+// the engine itself or injected at the fault.PointWMaxWorker point — is
+// converted
 // into a *fault.PanicError, the remaining workers stop claiming, and
 // parallelFor returns the error instead of crashing the process.  A solver
 // that was solving when its body panicked is discarded, never returned to
@@ -438,8 +434,8 @@ func parallelFor(ctx context.Context, pool *SolverPool, g *cdag.Graph, workers, 
 		}
 	}
 	runBody := func(cs *CutSolver, i int) error {
-		return fault.Capture(wmaxWorkerFault, func() {
-			fault.Inject(wmaxWorkerFault)
+		return fault.Capture(fault.PointWMaxWorker, func() {
+			fault.Inject(fault.PointWMaxWorker)
 			body(cs, i)
 		})
 	}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CtxFlowAnalyzer enforces the PR-5 context contract: cancellation flows
+// from the caller down through every engine, so library code never
+// manufactures its own root context, and an exported entry point that
+// accepts a ctx must actually thread it somewhere.  Concretely it flags
+//
+//   - context.Background() / context.TODO() in any non-main package (the
+//     CLIs and the daemon mint the root; engines receive it), and
+//   - exported functions and methods with a context.Context parameter whose
+//     body never references that parameter — a signature that promises
+//     cancellation and silently ignores it.
+var CtxFlowAnalyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context roots minted inside library code and exported " +
+		"entry points that accept a ctx but never use it",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkMintedRoot(pass, n)
+		case *ast.FuncDecl:
+			checkUnusedCtxParam(pass, n)
+		}
+	})
+	return nil, nil
+}
+
+func checkMintedRoot(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		reportf(pass, call,
+			"context.%s() minted inside library package %s: engines receive their context from the caller, they never create roots",
+			name, pkgBase(pass.Pkg.Path()))
+	}
+}
+
+func checkUnusedCtxParam(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl.Body == nil || !decl.Name.IsExported() || !exportedReceiver(decl) {
+		return
+	}
+	for _, field := range decl.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			continue // unnamed parameter in an interface-shaped signature
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				reportf(pass, name,
+					"exported %s discards its context parameter: name it and pass it down so cancellation reaches the engines",
+					decl.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !identUsed(pass, decl.Body, obj) {
+				reportf(pass, name,
+					"exported %s accepts ctx but never uses it: pass it to the engines it calls (or drop the parameter)",
+					decl.Name.Name)
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether the declaration is reachable from outside
+// the package: a plain function, or a method whose receiver's base type name
+// is exported.
+func exportedReceiver(decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return true
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsed reports whether obj is referenced anywhere in body (closures
+// included — a ctx captured by a nested func literal counts as used).
+func identUsed(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

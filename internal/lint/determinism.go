@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DeterminismAnalyzer guards the bit-identical-results contract of the engine
+// packages: every equivalence suite in the repository pins engine output
+// across modes, worker counts and restarts, so any ambient nondeterminism
+// source inside those packages is a reproducibility bug even when today's
+// tests happen to pass.  It flags
+//
+//   - time.Now (wall clock in a pure computation),
+//   - package-level math/rand and math/rand/v2 functions (process-global
+//     generator; seeded rand.New(...) streams are fine),
+//   - select statements with more than one communication case (the runtime
+//     picks a ready case uniformly at random),
+//   - ranging over a map while appending to a slice or writing to an
+//     encoder/writer (iteration order leaks into ordered output; collect and
+//     sort the keys first).
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags nondeterminism sources (time.Now, global math/rand, multi-case " +
+		"select, map-range into ordered output) in bit-identical engine packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !inPackages(pass, enginePackages) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.SelectStmt)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondetCall(pass, n)
+		case *ast.SelectStmt:
+			checkSelect(pass, n)
+		}
+	})
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if push {
+			checkMapRange(pass, n.(*ast.RangeStmt), stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: a selector whose operand is the package
+	// name.  Methods on a seeded *rand.Rand live in the same package but are
+	// deterministic given the seed.
+	if id, ok := sel.X.(*ast.Ident); !ok {
+		return
+	} else if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			reportf(pass, call,
+				"time.Now in engine package %s: engine results must be bit-identical, derive timings outside the engine",
+				pkgBase(pass.Pkg.Path()))
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // explicit seeded generators are the sanctioned form
+		}
+		reportf(pass, call,
+			"global %s.%s in engine package %s: use an explicitly seeded rand.New(rand.NewSource(seed)) stream",
+			pkgBase(fn.Pkg().Path()), fn.Name(), pkgBase(pass.Pkg.Path()))
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm > 1 {
+		reportf(pass, sel,
+			"select over %d channels in engine package %s: the runtime picks a ready case at random; merge results deterministically instead",
+			comm, pkgBase(pass.Pkg.Path()))
+	}
+}
+
+// orderedSinkMethods are method names whose call inside a map-range body
+// means iteration order reaches ordered output: stream encoders and writers.
+var orderedSinkMethods = set(
+	"Encode", "Marshal", "MarshalIndent",
+	"Write", "WriteString", "WriteByte", "WriteRune",
+	"Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println",
+)
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	if rng.X == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	appends, sink := false, ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if isBuiltinAppend(pass, fun) {
+				appends = true
+			}
+		case *ast.SelectorExpr:
+			if sink == "" && orderedSinkMethods[fun.Sel.Name] {
+				sink = fun.Sel.Name
+			}
+		}
+		return true
+	})
+	switch {
+	case sink != "":
+		// Writing to a stream mid-range is unfixable by a later sort.
+		reportf(pass, rng,
+			"map iteration writes to an ordered sink (%s) in engine package %s: iteration order is nondeterministic; sort the keys first",
+			sink, pkgBase(pass.Pkg.Path()))
+	case appends && !sortsAfter(pass, rng, stack):
+		// The sanctioned collect-keys-then-sort idiom appends inside the
+		// range and sorts right after it; only an unsorted append leaks
+		// iteration order.
+		reportf(pass, rng,
+			"map iteration appends into a slice in engine package %s and nothing sorts it afterwards: iteration order is nondeterministic",
+			pkgBase(pass.Pkg.Path()))
+	}
+}
+
+// sortsAfter reports whether, in the function enclosing rng, some sort call
+// (package sort or slices) executes after the range loop — the tail half of
+// the collect-then-sort idiom.
+func sortsAfter(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0 && body == nil; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *analysis.Pass, id *ast.Ident) bool {
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

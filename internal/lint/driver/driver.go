@@ -1,0 +1,348 @@
+// Package driver is cdaglint's self-contained go/analysis driver.
+//
+// The stock x/tools drivers (multichecker, analysistest) sit on
+// golang.org/x/tools/go/packages, which drags a dependency tree the build
+// intentionally avoids.  This driver reimplements the small slice cdaglint
+// needs, offline:
+//
+//  1. one `go list -export -deps -json` invocation resolves every package in
+//     the requested patterns plus its dependency universe, with compiled
+//     export data for each dependency straight from the build cache;
+//  2. target packages (the ones in the main module) are re-parsed from
+//     source with comments and type-checked against that export data via
+//     go/importer's lookup mode — the same separate-compilation shape `go
+//     vet` uses;
+//  3. the analyzers run per package in Requires order, diagnostics are
+//     filtered through the //cdaglint:allow machinery inside the analyzers
+//     themselves, and malformed allow comments are reported by the driver.
+//
+// Facts are not supported (no cdaglint analyzer uses them); Requires chains
+// and inspector results are.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"cdagio/internal/lint"
+)
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *listModule
+	Error      *listError
+}
+
+type listModule struct {
+	Path      string
+	GoVersion string
+}
+
+type listError struct {
+	Err string
+}
+
+// Universe is the resolved package graph of one go list invocation: export
+// data for every dependency and source file lists for the target packages.
+type Universe struct {
+	Fset    *token.FileSet
+	Targets []*listPkg
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// Load runs go list over the patterns (plus extra patterns whose export data
+// should be importable, e.g. std packages fixtures use) in dir and returns
+// the universe.  Target packages are the non-DepOnly results that belong to
+// a module (i.e. the main module's packages); extra patterns contribute
+// export data only.
+func Load(dir string, patterns, extra []string) (*Universe, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	args = append(args, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+
+	u := &Universe{Fset: token.NewFileSet(), exports: map[string]string{}}
+	extraSet := map[string]bool{}
+	for _, e := range extra {
+		extraSet[e] = true
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			u.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Module != nil && !extraSet[p.ImportPath] {
+			target := p
+			u.Targets = append(u.Targets, &target)
+		}
+	}
+	sort.Slice(u.Targets, func(i, j int) bool { return u.Targets[i].ImportPath < u.Targets[j].ImportPath })
+
+	u.imp = importer.ForCompiler(u.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := u.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return u, nil
+}
+
+// Importer exposes the export-data importer, so fixture harnesses can chain
+// their own source-loading importer in front of it.
+func (u *Universe) Importer() types.Importer { return u.imp }
+
+// Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path      string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Module    *analysis.Module
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers need.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// goVersionOf formats a go list module version for types.Config.
+func goVersionOf(m *listModule) string {
+	if m == nil || m.GoVersion == "" {
+		return ""
+	}
+	return "go" + m.GoVersion
+}
+
+// TypeCheckFiles parses nothing — files are already parsed — and
+// type-checks them as the package at importPath against imp.
+func (u *Universe) TypeCheckFiles(importPath, goVersion string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewTypesInfo()
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, u.Fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// CheckTarget parses and type-checks one target package from source.
+func (u *Universe) CheckTarget(p *listPkg) (*Package, error) {
+	if len(p.CgoFiles) > 0 {
+		return nil, fmt.Errorf("package %s uses cgo, which the cdaglint driver does not support", p.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(u.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := u.TypeCheckFiles(p.ImportPath, goVersionOf(p.Module), files, u.imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	var mod *analysis.Module
+	if p.Module != nil {
+		mod = &analysis.Module{Path: p.Module.Path, GoVersion: goVersionOf(p.Module)}
+	}
+	return &Package{Path: p.ImportPath, Files: files, Types: pkg, TypesInfo: info, Module: mod}, nil
+}
+
+// Diagnostic is one reported finding, position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// RunAnalyzers applies the analyzers (and their Requires closure) to the
+// package and returns the surviving diagnostics plus the driver's own
+// malformed-allow findings, sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	results := map[*analysis.Analyzer]any{}
+	done := map[*analysis.Analyzer]bool{}
+
+	var runOne func(a *analysis.Analyzer) error
+	runOne = func(a *analysis.Analyzer) error {
+		if done[a] {
+			return nil
+		}
+		done[a] = true
+		resultOf := map[*analysis.Analyzer]any{}
+		for _, req := range a.Requires {
+			if err := runOne(req); err != nil {
+				return err
+			}
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			Module:     pkg.Module,
+			ResultOf:   resultOf,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		result, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		results[a] = result
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := runOne(a); err != nil {
+			return nil, err
+		}
+	}
+
+	// The driver's own rule: every allow comment must name a known analyzer
+	// and carry a reason.
+	lint.CheckAllows(fset, pkg.Files, lint.KnownAnalyzers(), func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Analyzer: "cdaglint", Pos: fset.Position(pos), Message: msg})
+	})
+
+	sortDiagnostics(diags)
+	return dedup(diags), nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Main is the multichecker entry point: load the patterns, run the suite on
+// every target, print findings.  It returns the number of findings, or an
+// error for operational failures (list/parse/type-check problems).
+func Main(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	u, err := Load(dir, patterns, nil)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, target := range u.Targets {
+		pkg, err := u.CheckTarget(target)
+		if err != nil {
+			return findings, err
+		}
+		diags, err := RunAnalyzers(u.Fset, pkg, analyzers)
+		if err != nil {
+			return findings, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: [%s] %s\n", relPosition(dir, d.Pos), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	return findings, nil
+}
+
+// relPosition renders a position with the filename relative to dir when
+// possible, keeping gate output stable across checkouts.
+func relPosition(dir string, pos token.Position) string {
+	if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos.String()
+}

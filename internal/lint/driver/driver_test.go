@@ -1,0 +1,34 @@
+package driver_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdagio/internal/lint"
+	"cdagio/internal/lint/driver"
+)
+
+// TestRepoSweepIsClean pins the burned-down state of the tree: the full
+// cdaglint suite over every package in the module must report zero findings,
+// exactly like the CI gate.
+func TestRepoSweepIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide sweep: skipped in -short mode")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	var buf bytes.Buffer
+	n, err := driver.Main(&buf, root, []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("cdaglint driver: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("cdaglint found %d finding(s) on the tree:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ErrTaxonomyAnalyzer guards the daemon's error contract: every failure a
+// request can observe is classified into exactly one serve.Error taxonomy
+// class before it reaches the wire.  Inside the serve package it flags
+//
+//   - any call to http.Error (it bypasses the classified JSON error body and
+//     the Retry-After machinery entirely),
+//   - fmt.Errorf inside a function that holds an http.ResponseWriter (an
+//     unclassified error born next to the wire; use the taxonomy
+//     constructors or classify()), and
+//   - WriteHeader with a literal status >= 400 in such functions (error
+//     statuses must come from the taxonomy's httpStatus mapping, not be
+//     hand-picked per call site).
+var ErrTaxonomyAnalyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "requires serve-package handler errors to carry a serve.Error class; " +
+		"no naked http.Error/fmt.Errorf next to a response writer",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *analysis.Pass) (any, error) {
+	if pkgBase(pass.Pkg.Path()) != "serve" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// http.Error is forbidden anywhere in the package, response
+			// writer in scope or not.
+			if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				reportf(pass, n,
+					"http.Error bypasses the serve.Error taxonomy: classify the failure and use the taxonomy writer")
+			}
+		case *ast.FuncDecl:
+			if n.Body != nil && holdsResponseWriter(pass, n.Type) {
+				checkHandlerBody(pass, n.Body)
+			}
+		case *ast.FuncLit:
+			if holdsResponseWriter(pass, n.Type) {
+				checkHandlerBody(pass, n.Body)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// holdsResponseWriter reports whether the function type has a parameter of
+// type net/http.ResponseWriter — the signature shape of everything that can
+// let an error escape to the wire.
+func holdsResponseWriter(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHandlerBody flags unclassified error construction inside a function
+// that can write a response.  Nested function literals are visited by the
+// outer Preorder walk, so only this body's own statements are scanned (a
+// closure with its own ResponseWriter parameter is its own scope).
+func checkHandlerBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body && holdsResponseWriter(pass, lit.Type) {
+			return false // has its own ResponseWriter: checked as its own scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+			reportf(pass, call,
+				"fmt.Errorf inside a response-writer function: handler failures must carry a serve.Error class (taxonomy constructors or classify)")
+			return true
+		}
+		if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if status, ok := constant.Int64Val(tv.Value); ok && status >= 400 {
+					reportf(pass, call,
+						"WriteHeader(%d) hand-picks an error status: error statuses must flow through the taxonomy writer", status)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called function object, for both pkg.Fn and
+// recv.Method call forms.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// FaultPointAnalyzer keeps the chaos-testing surface honest.  A fault point
+// that exists only as a string literal at its call site can be typo'd — the
+// chaos test that "covers" it then hooks a name nothing ever fires, and the
+// coverage is silently imaginary.  The analyzer therefore requires
+//
+//   - every label passed to fault.Inject / fault.Capture / fault.InjectErr
+//     outside the fault package itself to be a reference to a constant
+//     declared in the fault package (the single registry), and
+//   - inside the fault package: the exported Point* constants to be
+//     non-empty, dotted, pairwise distinct, and listed in the Points
+//     registry slice exactly once each.
+var FaultPointAnalyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "requires fault injection/capture labels to be constants registered " +
+		"in the internal/fault registry, unique repo-wide",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFaultPoint,
+}
+
+// faultEntryPoints are the functions whose first argument names a fault
+// point.
+var faultEntryPoints = set("Inject", "Capture", "InjectErr")
+
+func runFaultPoint(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	if pkgBase(pass.Pkg.Path()) == "fault" {
+		checkRegistry(pass, ins)
+		return nil, nil
+	}
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "fault" || !faultEntryPoints[fn.Name()] {
+			return
+		}
+		arg := call.Args[0]
+		if c := referencedConst(pass, arg); c != nil {
+			if c.Pkg() != fn.Pkg() {
+				reportf(pass, arg,
+					"fault point constant %s is declared in %s, not in the fault registry: move it to the internal/fault Point* block",
+					c.Name(), c.Pkg().Path())
+			}
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			reportf(pass, arg,
+				"fault point %s passed as a loose literal: register it as a Point* constant in internal/fault so chaos tests cannot hook a typo",
+				tv.Value.ExactString())
+			return
+		}
+		reportf(pass, arg,
+			"fault point passed as a non-constant expression: %s.%s must be called with a registered internal/fault Point* constant",
+			pkgBase(fn.Pkg().Path()), fn.Name())
+	})
+	return nil, nil
+}
+
+// referencedConst resolves arg to the constant object it references, if it
+// is a plain identifier or selector reference.
+func referencedConst(pass *analysis.Pass, arg ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return c
+}
+
+// checkRegistry validates the fault package itself: Point* constants are
+// well-formed and distinct, and the Points slice lists each exactly once.
+func checkRegistry(pass *analysis.Pass, ins *inspector.Inspector) {
+	type pointConst struct {
+		name string
+		val  string
+		node ast.Node
+	}
+	var consts []pointConst
+	byVal := map[string]string{} // value -> first const name
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Point") || !c.Exported() || name == "Points" {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		val := constant.StringVal(c.Val())
+		consts = append(consts, pointConst{name: name, val: val})
+		if val == "" || !strings.Contains(val, ".") {
+			reportAtObj(pass, c, "fault point %s = %q must be a non-empty dotted name (pkg.site)", name, val)
+		}
+		if prev, dup := byVal[val]; dup {
+			reportAtObj(pass, c, "fault point %s duplicates the value %q of %s: points must be unique repo-wide", name, val, prev)
+		} else {
+			byVal[val] = name
+		}
+	}
+
+	// Find `var Points = []string{...}` and require set equality with the
+	// Point* constants.
+	ins.Preorder([]ast.Node{(*ast.ValueSpec)(nil)}, func(n ast.Node) {
+		spec := n.(*ast.ValueSpec)
+		for i, vn := range spec.Names {
+			if vn.Name != "Points" || i >= len(spec.Values) {
+				continue
+			}
+			lit, ok := spec.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			listed := map[string]bool{}
+			for _, elem := range lit.Elts {
+				c := referencedConstFromDef(pass, elem)
+				if c == nil {
+					reportf(pass, elem, "Points registry entries must reference the Point* constants directly")
+					continue
+				}
+				if listed[c.Name()] {
+					reportf(pass, elem, "Points lists %s twice", c.Name())
+				}
+				listed[c.Name()] = true
+			}
+			for _, pc := range consts {
+				if !listed[pc.name] {
+					reportf(pass, lit, "fault point constant %s is missing from the Points registry", pc.name)
+				}
+			}
+		}
+	})
+}
+
+func referencedConstFromDef(pass *analysis.Pass, e ast.Expr) *types.Const {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	c, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return c
+}
+
+// reportAtObj reports at the declaration position of obj.
+func reportAtObj(pass *analysis.Pass, obj types.Object, format string, args ...any) {
+	reportf(pass, posRange{obj.Pos()}, format, args...)
+}
+
+type posRange struct{ p token.Pos }
+
+func (r posRange) Pos() token.Pos { return r.p }
+func (r posRange) End() token.Pos { return r.p }

@@ -1,0 +1,79 @@
+// Package lint holds cdaglint: five golang.org/x/tools/go/analysis analyzers
+// that machine-enforce the repository's hand-written invariants.
+//
+//   - hotloop: no g.Succ/g.Pred inside loop bodies of the hot packages —
+//     hoist the CSR row (SuccessorCSR/PredecessorCSR) before the loop.
+//   - determinism: no wall clocks, global math/rand, multi-channel selects,
+//     or map-range into ordered output inside the engine packages whose
+//     results must be bit-identical across every engine mode.
+//   - ctxflow: internal code never mints context.Background()/TODO() (the
+//     caller owns the root context), and an exported entry point that accepts
+//     a ctx must actually use it.
+//   - faultpoint: every fault.Inject/Capture/InjectErr label is a constant
+//     registered in the internal/fault registry — never a loose literal or a
+//     variable — and the registry itself stays consistent.
+//   - errtaxonomy: internal/serve never lets a naked fmt.Errorf or
+//     http.Error escape to a response writer; handler errors carry a
+//     serve.Error class.
+//
+// A finding that is intentional is silenced in place with
+//
+//	//cdaglint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line.  The reason is mandatory: an
+// allow without one is itself a diagnostic, so the source records *why* every
+// exception exists.  See CheckAllows.
+//
+// The analyzers are ordinary go/analysis passes and run under any driver;
+// cmd/cdaglint is the repository's multichecker and CI gate.
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzers returns the cdaglint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotLoopAnalyzer,
+		DeterminismAnalyzer,
+		CtxFlowAnalyzer,
+		FaultPointAnalyzer,
+		ErrTaxonomyAnalyzer,
+	}
+}
+
+// hotPackages are the packages whose inner loops are the measured hot paths:
+// since PR 4 every per-vertex traversal in them goes through CSR rows hoisted
+// out of the loop, and hotloop keeps it that way.  Matched by package-path
+// basename so the rule follows a package through renames of the module root
+// (and applies to lint fixtures).
+var hotPackages = set("graphalg", "pebble", "prbw", "memsim", "sched", "wavefront", "trace")
+
+// enginePackages are the packages whose results the equivalence suites pin
+// bit-identical across engine modes, worker counts and warm restarts.  Any
+// nondeterminism source inside them is a reproducibility bug by definition.
+var enginePackages = set("cdag", "graphalg", "pebble", "prbw", "memsim", "sched",
+	"wavefront", "bounds", "partition", "gen", "linalg", "machine", "trace", "core")
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// pkgBase returns the last element of an import path.
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// inPackages reports whether the pass's package matches the given basename
+// set.
+func inPackages(pass *analysis.Pass, names map[string]bool) bool {
+	return names[pkgBase(pass.Pkg.Path())]
+}

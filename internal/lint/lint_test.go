@@ -1,0 +1,111 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"cdagio/internal/lint"
+	"cdagio/internal/lint/linttest"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runFixtures(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root := fixtureRoot(t)
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			linttest.Run(t, root, pkg, a)
+		})
+	}
+}
+
+func TestHotLoopFixtures(t *testing.T) {
+	runFixtures(t, lint.HotLoopAnalyzer,
+		"hotloop/flagged/prbw",
+		"hotloop/clean/prbw",
+		"hotloop/clean/coldutil",
+		"hotloop/suppressed/prbw",
+	)
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	runFixtures(t, lint.DeterminismAnalyzer,
+		"determinism/flagged/graphalg",
+		"determinism/clean/graphalg",
+		"determinism/suppressed/graphalg",
+	)
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	runFixtures(t, lint.CtxFlowAnalyzer,
+		"ctxflow/flagged/engine",
+		"ctxflow/clean/engine",
+		"ctxflow/suppressed/engine",
+	)
+}
+
+func TestFaultPointFixtures(t *testing.T) {
+	runFixtures(t, lint.FaultPointAnalyzer,
+		"faultpoint/flagged/consumer",
+		"faultpoint/flagged/fault",
+		"faultpoint/clean/consumer",
+		"faultpoint/suppressed/consumer",
+		// The shared stub registry doubles as the clean registry fixture.
+		"fault",
+	)
+}
+
+func TestErrTaxonomyFixtures(t *testing.T) {
+	runFixtures(t, lint.ErrTaxonomyAnalyzer,
+		"errtaxonomy/flagged/serve",
+		"errtaxonomy/clean/serve",
+		"errtaxonomy/suppressed/serve",
+	)
+}
+
+// TestAllowMisuse pins the driver-level rule: a reason-less allow and an
+// unknown-analyzer allow are findings in their own right, and neither
+// suppresses the diagnostic it sits on.  Expectations are explicit here
+// because a trailing want comment on an allow line would parse as its reason.
+func TestAllowMisuse(t *testing.T) {
+	diags := linttest.Load(t, fixtureRoot(t), "allowcheck/flagged/demo", lint.Analyzers()...)
+	expected := []struct{ analyzer, substr string }{
+		{"cdaglint", "cdaglint:allow ctxflow has no reason"},
+		{"cdaglint", "names unknown analyzer nosuchanalyzer"},
+		{"cdaglint", "needs an analyzer name and a reason"},
+		{"ctxflow", "context.Background() minted"},
+		{"ctxflow", "context.Background() minted"},
+	}
+	if len(diags) != len(expected) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(expected))
+		for _, d := range diags {
+			t.Errorf("  %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	used := make([]bool, len(diags))
+	for _, e := range expected {
+		found := false
+		for i, d := range diags {
+			if !used[i] && d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matched [%s] %q", e.analyzer, e.substr)
+		}
+	}
+}

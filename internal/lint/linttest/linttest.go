@@ -1,0 +1,240 @@
+// Package linttest is cdaglint's offline replacement for
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The stock analysistest loads fixtures through go/packages and the network-
+// facing module machinery; this harness reuses the cdaglint driver instead.
+// One `go list -export -deps` pass over the real module supplies export data
+// for every dependency (plus a few std packages only fixtures use), fixture
+// packages under testdata/src are type-checked from source with a chained
+// importer so they can depend on stub packages (testdata/src/cdag,
+// testdata/src/fault) that mimic the real internal packages, and diagnostics
+// are compared against analysistest-style expectations:
+//
+//	g.Succ(v) // want `Succ called inside a loop`
+//
+// Each backquoted chunk after "want" is a regexp that must match exactly one
+// diagnostic on that line; diagnostics without a matching want, and wants
+// without a matching diagnostic, fail the test.  The driver's own
+// allow-misuse findings participate like any other diagnostic, so fixtures
+// can also pin the suppression machinery itself.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"cdagio/internal/lint/driver"
+)
+
+// stdFixtureDeps are std packages fixtures import that are not already in the
+// module's own dependency closure; their export data must be loadable too.
+var stdFixtureDeps = []string{"math/rand"}
+
+var (
+	uniOnce sync.Once
+	uni     *driver.Universe
+	uniErr  error
+)
+
+// universe loads the module-wide export-data universe once per test binary.
+func universe(t *testing.T) *driver.Universe {
+	t.Helper()
+	uniOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			uniErr = err
+			return
+		}
+		uni, uniErr = driver.Load(root, []string{"./..."}, stdFixtureDeps)
+	})
+	if uniErr != nil {
+		t.Fatalf("loading export-data universe: %v", uniErr)
+	}
+	return uni
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// fixtureImporter resolves imports that name a directory under the fixture
+// root from source (recursively, so stubs may import other stubs) and
+// delegates everything else to the universe's export-data importer.
+type fixtureImporter struct {
+	root  string
+	u     *driver.Universe
+	cache map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return im.u.Importer().Import(path)
+	}
+	files, err := parseFixtureDir(im.u.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := im.u.TypeCheckFiles(path, "", files, im)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture dependency %s: %v", path, err)
+	}
+	im.cache[path] = pkg
+	return pkg, nil
+}
+
+func parseFixtureDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture dir %s", dir)
+	}
+	return files, nil
+}
+
+// Load type-checks the fixture package at pkgPath (slash-separated, relative
+// to root, also used as its import path so basename-matched rules apply) and
+// returns it ready for driver.RunAnalyzers.
+func Load(t *testing.T, root, pkgPath string, analyzers ...*analysis.Analyzer) []driver.Diagnostic {
+	t.Helper()
+	u := universe(t)
+	im := &fixtureImporter{root: root, u: u, cache: map[string]*types.Package{}}
+	dir := filepath.Join(root, filepath.FromSlash(pkgPath))
+	files, err := parseFixtureDir(u.Fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", pkgPath, err)
+	}
+	pkg, info, err := u.TypeCheckFiles(pkgPath, "", files, im)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+	diags, err := driver.RunAnalyzers(u.Fset, &driver.Package{
+		Path:      pkgPath,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on fixture %s: %v", pkgPath, err)
+	}
+	return diags
+}
+
+// Run loads the fixture package, applies the analyzers, and compares the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, root, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	u := universe(t)
+	diags := Load(t, root, pkgPath, analyzers...)
+	wants := collectWants(t, u.Fset, filepath.Join(root, filepath.FromSlash(pkgPath)))
+	checkWants(t, pkgPath, diags, wants)
+}
+
+// want is one expected diagnostic: a regexp anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantChunk extracts the backquoted regexps of a want comment.
+var wantChunk = regexp.MustCompile("`([^`]*)`")
+
+// collectWants re-parses the fixture files and gathers every
+// "// want `re` [`re` ...]" comment, keyed to the comment's own line.
+func collectWants(t *testing.T, fset *token.FileSet, dir string) []*want {
+	t.Helper()
+	files, err := parseFixtureDir(fset, dir)
+	if err != nil {
+		t.Fatalf("collecting wants: %v", err)
+	}
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimLeft(text, " \t")
+				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want`") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				matches := wantChunk.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: want comment has no backquoted regexp", posn)
+					continue
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, m[1], err)
+						continue
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against wants one-to-one: every diagnostic
+// must consume a matching want on its line, every want must be consumed.
+func checkWants(t *testing.T, pkgPath string, diags []driver.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic in %s: [%s] %s", d.Pos, pkgPath, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q in %s", w.file, w.line, w.re, pkgPath)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// The suppression syntax:
+//
+//	//cdaglint:allow <analyzer> <reason>
+//
+// silences diagnostics of the named analyzer on the comment's own line and
+// on the line immediately below it, so it works both as a trailing comment
+// and as a standalone comment above the offending statement.  The reason is
+// mandatory — an allow without one, or naming an unknown analyzer, is
+// reported by CheckAllows as a diagnostic in its own right, so every
+// exception in the tree carries its justification.
+
+const allowPrefix = "//cdaglint:allow"
+
+// allowSite is one parsed //cdaglint:allow comment.
+type allowSite struct {
+	analyzer string // "" when missing
+	reason   string // "" when missing
+	pos      token.Pos
+	line     int // line of the comment itself
+}
+
+// parseAllows extracts every cdaglint:allow comment from the file.
+func parseAllows(fset *token.FileSet, f *ast.File) []allowSite {
+	var sites []allowSite
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			// Require the prefix to be the whole directive word: reject
+			// "//cdaglint:allowx".
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			site := allowSite{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				site.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				site.reason = strings.Join(fields[1:], " ")
+			}
+			sites = append(sites, site)
+		}
+	}
+	return sites
+}
+
+// suppressed reports whether a diagnostic of the pass's analyzer at pos is
+// covered by a well-formed allow comment.  Malformed allows (no reason) do
+// not suppress: they surface through CheckAllows instead, and the original
+// diagnostic stays live so an empty reason cannot silence anything.
+func suppressed(pass *analysis.Pass, pos token.Pos) bool {
+	posn := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		ff := pass.Fset.File(f.FileStart)
+		if ff == nil || ff.Name() != posn.Filename {
+			continue
+		}
+		for _, site := range parseAllows(pass.Fset, f) {
+			if site.analyzer != pass.Analyzer.Name || site.reason == "" {
+				continue
+			}
+			if posn.Line == site.line || posn.Line == site.line+1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reportf is the reporting path every cdaglint analyzer uses: it drops
+// diagnostics in _test.go files (tests may break the engine rules freely)
+// and diagnostics covered by a well-formed allow, then forwards to
+// pass.ReportRangef.
+func reportf(pass *analysis.Pass, rng analysis.Range, format string, args ...any) {
+	posn := pass.Fset.Position(rng.Pos())
+	if strings.HasSuffix(posn.Filename, "_test.go") {
+		return
+	}
+	if suppressed(pass, rng.Pos()) {
+		return
+	}
+	pass.ReportRangef(rng, format, args...)
+}
+
+// CheckAllows validates every cdaglint:allow comment in the given files: the
+// named analyzer must be one of `known` and the reason must be non-empty.
+// The driver runs it once per package and reports violations under the
+// "cdaglint" name — a suppression that does not say why it exists is itself
+// a finding.
+func CheckAllows(fset *token.FileSet, files []*ast.File, known map[string]bool,
+	report func(pos token.Pos, msg string)) {
+	for _, f := range files {
+		for _, site := range parseAllows(fset, f) {
+			switch {
+			case site.analyzer == "":
+				report(site.pos, "cdaglint:allow needs an analyzer name and a reason: //cdaglint:allow <analyzer> <reason>")
+			case !known[site.analyzer]:
+				report(site.pos, "cdaglint:allow names unknown analyzer "+site.analyzer)
+			case site.reason == "":
+				report(site.pos, "cdaglint:allow "+site.analyzer+" has no reason; a suppression must say why it is sound")
+			}
+		}
+	}
+}
+
+// KnownAnalyzers returns the set of analyzer names CheckAllows accepts.
+func KnownAnalyzers() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const allowSrc = `package p
+
+func a() {
+	_ = 1 //cdaglint:allow hotloop the reason
+	_ = 2
+	//cdaglint:allow determinism
+	_ = 3
+	_ = 4 //cdaglint:allowx not-a-directive
+}
+`
+
+func parseAllowSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseAllows(t *testing.T) {
+	fset, f := parseAllowSrc(t, allowSrc)
+	sites := parseAllows(fset, f)
+	if len(sites) != 2 {
+		t.Fatalf("got %d allow sites, want 2 (the cdaglint:allowx line is not a directive): %+v", len(sites), sites)
+	}
+	if sites[0].analyzer != "hotloop" || sites[0].reason != "the reason" || sites[0].line != 4 {
+		t.Errorf("site 0 = %+v, want hotloop/\"the reason\" on line 4", sites[0])
+	}
+	if sites[1].analyzer != "determinism" || sites[1].reason != "" || sites[1].line != 6 {
+		t.Errorf("site 1 = %+v, want determinism with empty reason on line 6", sites[1])
+	}
+}
+
+func TestSuppressedWindow(t *testing.T) {
+	fset, f := parseAllowSrc(t, allowSrc)
+	tf := fset.File(f.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	hot := &analysis.Pass{Analyzer: HotLoopAnalyzer, Fset: fset, Files: []*ast.File{f}}
+	for line, want := range map[int]bool{3: false, 4: true, 5: true, 6: false} {
+		if got := suppressed(hot, at(line)); got != want {
+			t.Errorf("hotloop suppressed at line %d = %v, want %v", line, got, want)
+		}
+	}
+
+	// The determinism allow has no reason: it must not suppress anything.
+	det := &analysis.Pass{Analyzer: DeterminismAnalyzer, Fset: fset, Files: []*ast.File{f}}
+	for _, line := range []int{6, 7} {
+		if suppressed(det, at(line)) {
+			t.Errorf("reason-less allow suppressed determinism at line %d", line)
+		}
+	}
+}
+
+const checkSrc = `package p
+
+//cdaglint:allow hotloop justified because reasons
+//cdaglint:allow nosuch some reason
+//cdaglint:allow determinism
+//cdaglint:allow
+func b() {}
+`
+
+func TestCheckAllows(t *testing.T) {
+	fset, f := parseAllowSrc(t, checkSrc)
+	var msgs []string
+	CheckAllows(fset, []*ast.File{f}, KnownAnalyzers(), func(pos token.Pos, msg string) {
+		msgs = append(msgs, msg)
+	})
+	if len(msgs) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(msgs), msgs)
+	}
+	for i, substr := range []string{
+		"names unknown analyzer nosuch",
+		"has no reason",
+		"needs an analyzer name and a reason",
+	} {
+		if !strings.Contains(msgs[i], substr) {
+			t.Errorf("finding %d = %q, want it to contain %q", i, msgs[i], substr)
+		}
+	}
+}

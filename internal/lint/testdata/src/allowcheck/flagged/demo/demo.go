@@ -1,0 +1,22 @@
+// Package demo exercises the driver's allow-validation rule.  Expectations
+// live in lint_test.go instead of want comments, because a trailing want
+// comment on an allow line would parse as the allow's reason.
+package demo
+
+import "context"
+
+// MintWithoutReason carries a reason-less allow: the allow is reported AND
+// the diagnostic it tried to silence stays live.
+func MintWithoutReason() context.Context {
+	//cdaglint:allow ctxflow
+	return context.Background()
+}
+
+// MintUnknown names an analyzer that does not exist.
+func MintUnknown() context.Context {
+	//cdaglint:allow nosuchanalyzer because reasons
+	return context.Background()
+}
+
+//cdaglint:allow
+func Bare() {}

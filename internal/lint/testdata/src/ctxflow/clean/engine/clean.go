@@ -1,0 +1,38 @@
+// Package engine is the clean ctxflow fixture: contexts flow from the caller
+// and every accepted ctx is used, so no diagnostics are produced.
+package engine
+
+import "context"
+
+// Run threads its context.
+func Run(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Forward passes ctx down to a helper.
+func Forward(ctx context.Context, n int) error {
+	return helper(ctx, n)
+}
+
+func helper(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// quiet is unexported: an unused ctx here is a local style matter, not an
+// exported-contract violation.
+func quiet(ctx context.Context) {}
+
+var _ = quiet
+
+type worker struct{}
+
+// Step sits on an unexported receiver, so the unused ctx stays internal.
+func (w *worker) Step(ctx context.Context) error {
+	return nil
+}
+
+// Capture uses ctx only inside a closure, which counts as use.
+func Capture(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}

@@ -1,0 +1,31 @@
+// Package engine is a ctxflow fixture: a library (non-main) package, so
+// minted context roots and ignored ctx parameters must be flagged.
+package engine
+
+import "context"
+
+// Root manufactures a root context inside library code.
+func Root() context.Context {
+	return context.Background() // want `context.Background\(\) minted inside library package engine`
+}
+
+// Todo does the same with TODO.
+func Todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) minted inside library package engine`
+}
+
+// Analyze promises cancellation in its signature and ignores it.
+func Analyze(ctx context.Context, n int) int { // want `exported Analyze accepts ctx but never uses it`
+	return n * 2
+}
+
+// Runner is exported, so its methods are an exported contract.
+type Runner struct{}
+
+// Run ignores its ctx on an exported method.
+func (r *Runner) Run(ctx context.Context) error { // want `exported Run accepts ctx but never uses it`
+	return nil
+}
+
+// Discard throws the parameter away by name.
+func Discard(_ context.Context) {} // want `exported Discard discards its context parameter`

@@ -1,0 +1,12 @@
+// Package engine is the suppressed ctxflow fixture: the minted root carries
+// a reasoned allow, so no diagnostics are produced.
+package engine
+
+import "context"
+
+// Detach deliberately severs cancellation for a background flush; the allow
+// records the contract.
+func Detach() context.Context {
+	//cdaglint:allow ctxflow fixture: deliberately detached background flush keeps its own root
+	return context.Background()
+}

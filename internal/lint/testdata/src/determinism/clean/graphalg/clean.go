@@ -1,0 +1,40 @@
+// Package graphalg is the clean determinism fixture: every sanctioned form
+// of the flagged patterns, producing no diagnostics.
+package graphalg
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys is the collect-then-sort idiom: the append inside the map range
+// is fine because the slice is sorted before anyone sees it.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeededStream draws from an explicitly seeded generator, not the
+// process-global one.
+func SeededStream(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(1000)
+	}
+	return out
+}
+
+// Drain has one communication case plus default: no runtime coin flip.
+func Drain(ch <-chan int) (int, bool) {
+	select {
+	case x := <-ch:
+		return x, true
+	default:
+		return 0, false
+	}
+}

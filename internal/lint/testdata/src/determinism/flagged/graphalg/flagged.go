@@ -1,0 +1,47 @@
+// Package graphalg is a determinism fixture: its basename is in the engine
+// set, so ambient nondeterminism sources must be flagged.
+package graphalg
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside an engine package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in engine package graphalg`
+}
+
+// Shuffle uses the process-global generator.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle in engine package graphalg`
+}
+
+// Merge lets the runtime pick whichever channel is ready.
+func Merge(a, b <-chan int) int {
+	select { // want `select over 2 channels in engine package graphalg`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// Keys leaks map iteration order into a slice nothing sorts.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends into a slice in engine package graphalg`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump streams map entries straight into an encoder.
+func Dump(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `map iteration writes to an ordered sink \(Encode\) in engine package graphalg`
+		_ = enc.Encode([2]any{k, v})
+	}
+}

@@ -1,0 +1,12 @@
+// Package graphalg is the suppressed determinism fixture: the wall-clock
+// read carries a reasoned allow, so no diagnostics are produced.
+package graphalg
+
+import "time"
+
+// Trace stamps a debug log entry with wall time; the stamp never reaches an
+// engine result, which the allow records.
+func Trace() int64 {
+	//cdaglint:allow determinism fixture: wall time feeds a debug log, never an engine result
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,42 @@
+// Package serve is the clean errtaxonomy fixture: failures are classified
+// away from the wire and statuses flow from the taxonomy value, so no
+// diagnostics are produced.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errBadMethod = errors.New("bad method")
+
+type apiError struct {
+	Status int
+	Detail string
+}
+
+// classify is where unclassified failures become taxonomy errors; it holds
+// no response writer, so fmt.Errorf is fine here.
+func classify(err error) *apiError {
+	wrapped := fmt.Errorf("classified: %w", err)
+	return &apiError{Status: http.StatusBadRequest, Detail: wrapped.Error()}
+}
+
+// okHandler writes errors only through the taxonomy helper.
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, classify(errBadMethod))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeError maps a classified error onto the wire; the status comes from
+// the taxonomy value, never a hand-picked literal.
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.WriteHeader(e.Status)
+	_, _ = w.Write([]byte(e.Detail))
+}
+
+var _ = okHandler

@@ -1,0 +1,25 @@
+// Package serve is an errtaxonomy fixture: its basename makes the taxonomy
+// rules apply, so naked error paths next to a response writer are flagged.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the serve.Error taxonomy`
+	if r.Method != http.MethodGet {
+		err := fmt.Errorf("method %s", r.Method) // want `fmt.Errorf inside a response-writer function`
+		_ = err
+	}
+	w.WriteHeader(503) // want `WriteHeader\(503\) hand-picks an error status`
+}
+
+func badClosure(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(422) // want `WriteHeader\(422\) hand-picks an error status`
+	})
+}
+
+var _ = badHandler

@@ -1,0 +1,14 @@
+// Package serve is the suppressed errtaxonomy fixture: the plain-text probe
+// carries a reasoned allow, so no diagnostics are produced.
+package serve
+
+import "net/http"
+
+// probeHandler predates the taxonomy and answers plain text; the allow
+// records the debt.
+func probeHandler(w http.ResponseWriter, r *http.Request) {
+	//cdaglint:allow errtaxonomy fixture: plain-text probe endpoint predates the taxonomy writer
+	http.Error(w, "probe", http.StatusTeapot)
+}
+
+var _ = probeHandler

@@ -1,0 +1,26 @@
+// Package fault is the registry stub the faultpoint fixtures compile
+// against; it mirrors the shape of cdagio/internal/fault.  It is also itself
+// a clean registry fixture: running the faultpoint analyzer on it must
+// produce no diagnostics.
+package fault
+
+// Registered fault points.
+const (
+	PointAlpha = "fixture.alpha.worker"
+	PointBeta  = "fixture.beta.worker"
+)
+
+// Points is the registry.
+var Points = []string{PointAlpha, PointBeta}
+
+// Inject panics at a registered point when a hook is armed.
+func Inject(point string) {}
+
+// Capture runs fn with panic isolation under the given label.
+func Capture(label string, fn func()) error {
+	fn()
+	return nil
+}
+
+// InjectErr converts an injected panic at point into an error.
+func InjectErr(point string) error { return nil }

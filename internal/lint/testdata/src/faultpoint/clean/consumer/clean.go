@@ -1,0 +1,14 @@
+// Package consumer is the clean faultpoint fixture: every label references a
+// constant from the fault registry, so no diagnostics are produced.
+package consumer
+
+import "fault"
+
+// Good uses registered constants at each entry point.
+func Good() error {
+	fault.Inject(fault.PointAlpha)
+	if err := fault.Capture(fault.PointBeta, func() {}); err != nil {
+		return err
+	}
+	return fault.InjectErr(fault.PointAlpha)
+}

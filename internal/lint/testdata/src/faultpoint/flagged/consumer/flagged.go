@@ -1,0 +1,21 @@
+// Package consumer is a faultpoint fixture: labels handed to the fault
+// package must reference its registered constants, so every other form is
+// flagged.
+package consumer
+
+import "fault"
+
+const localPoint = "consumer.local"
+
+// Bad exercises the three rejected label forms.
+func Bad(dyn string) error {
+	fault.Inject("consumer.typo")            // want `fault point "consumer.typo" passed as a loose literal`
+	fault.Inject(localPoint)                 // want `fault point constant localPoint is declared in faultpoint/flagged/consumer, not in the fault registry`
+	fault.Inject(dyn)                        // want `fault point passed as a non-constant expression: fault.Inject must be called`
+	return fault.InjectErr("consumer.typo2") // want `fault point "consumer.typo2" passed as a loose literal`
+}
+
+// Wrap hits the same rule through Capture.
+func Wrap() error {
+	return fault.Capture("consumer.capture", func() {}) // want `fault point "consumer.capture" passed as a loose literal`
+}

@@ -1,0 +1,21 @@
+// Package fault is the flagged registry fixture: a deliberately inconsistent
+// Point* block exercising every registry rule.
+package fault
+
+// Registered fault points, three of them broken.
+const (
+	PointAlpha = "fixture.alpha"
+	PointBare  = "bare"          // want `fault point PointBare = "bare" must be a non-empty dotted name`
+	PointZeta  = "fixture.alpha" // want `fault point PointZeta duplicates the value "fixture.alpha" of PointAlpha`
+	PointLost  = "fixture.lost"
+)
+
+// Points forgets PointLost, lists PointZeta twice, and smuggles in a raw
+// string.
+var Points = []string{ // want `fault point constant PointLost is missing from the Points registry`
+	PointAlpha,
+	PointBare,
+	PointZeta,
+	PointZeta,     // want `Points lists PointZeta twice`
+	"fixture.raw", // want `Points registry entries must reference the Point\* constants directly`
+}

@@ -1,0 +1,12 @@
+// Package consumer is the suppressed faultpoint fixture: the loose literal
+// carries a reasoned allow, so no diagnostics are produced.
+package consumer
+
+import "fault"
+
+// ProbeUnregistered exercises the unknown-point error path with a label that
+// must stay unregistered; the allow records why.
+func ProbeUnregistered() {
+	//cdaglint:allow faultpoint fixture: probes the unknown-point error path, so the label must stay unregistered
+	fault.Inject("consumer.unregistered")
+}

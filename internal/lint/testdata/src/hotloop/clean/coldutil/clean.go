@@ -1,0 +1,15 @@
+// Package coldutil is outside the hot set: per-iteration adjacency calls are
+// allowed here, so this fixture must produce no diagnostics.
+package coldutil
+
+import "cdag"
+
+// Degrees may re-derive rows per iteration because nothing profiles this
+// package.
+func Degrees(g *cdag.Graph, order []cdag.VertexID) int {
+	total := 0
+	for _, v := range order {
+		total += len(g.Succ(v))
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package prbw is the clean hotloop fixture: every form here follows the
+// hoisted-CSR convention and must produce no diagnostics.
+package prbw
+
+import "cdag"
+
+// SumDegreesHoisted fetches the CSR rows once and indexes them per iteration.
+func SumDegreesHoisted(g *cdag.Graph, order []cdag.VertexID) int {
+	off, val := g.SuccessorCSR()
+	total := 0
+	for _, v := range order {
+		total += len(val[off[v]:off[v+1]])
+	}
+	return total
+}
+
+// RootRow calls Succ outside any loop: allowed.
+func RootRow(g *cdag.Graph) []cdag.VertexID {
+	return g.Succ(0)
+}
+
+// InitOnly evaluates Pred in the for-init, which runs once: allowed.
+func InitOnly(g *cdag.Graph) int {
+	n := 0
+	for row := g.Pred(0); n < len(row); n++ {
+	}
+	return n
+}
+
+// RangeOperand evaluates Succ once as the range operand: allowed.
+func RangeOperand(g *cdag.Graph) int {
+	total := 0
+	for _, w := range g.Succ(0) {
+		total += int(w)
+	}
+	return total
+}

@@ -1,0 +1,25 @@
+// Package prbw is the suppressed hotloop fixture: both allow placements
+// (trailing and standalone-above) must silence the diagnostic, so this
+// fixture produces none.
+package prbw
+
+import "cdag"
+
+// HistoricScan keeps a per-iteration Succ call behind a trailing allow.
+func HistoricScan(g *cdag.Graph, order []cdag.VertexID) int {
+	total := 0
+	for _, v := range order {
+		total += len(g.Succ(v)) //cdaglint:allow hotloop fixture: profiled cold path, row hoisting not worth it
+	}
+	return total
+}
+
+// AboveLineForm suppresses via a standalone comment on the line above.
+func AboveLineForm(g *cdag.Graph, order []cdag.VertexID) int {
+	total := 0
+	for _, v := range order {
+		//cdaglint:allow hotloop fixture: standalone-comment form of the same allow
+		total += len(g.Pred(v))
+	}
+	return total
+}

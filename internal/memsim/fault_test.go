@@ -31,7 +31,7 @@ func TestSweepWorkerPanicIsIsolated(t *testing.T) {
 
 	var fired atomic.Int64
 	restore := fault.SetHook(func(point string) {
-		if point == sweepWorkerFault && fired.Add(1) == 2 {
+		if point == fault.PointMemsimSweepWorker && fired.Add(1) == 2 {
 			panic("injected sweep worker crash")
 		}
 	})

@@ -133,6 +133,7 @@ func (s *Stats) String() string {
 func Run(g *cdag.Graph, cfg Config, order []cdag.VertexID, owner []int) (*Stats, error) {
 	// context.Background() is never cancelled, so RunCtx degenerates to the
 	// historical behavior.
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	return RunCtx(context.Background(), g, cfg, order, owner)
 }
 

@@ -10,17 +10,13 @@ import (
 	"cdagio/internal/fault"
 )
 
-// sweepWorkerFault is the fault-injection point inside every sweep worker,
-// triggered once per claimed job.  Tests install a fault.Hook that panics
-// here to prove one poisoned job fails one sweep, never the process.
-const sweepWorkerFault = "memsim.sweep.worker"
-
 // runJob executes one job under the worker recover wrapper: a panic inside
-// the simulator (or injected at sweepWorkerFault) becomes that job's error
-// instead of killing the worker goroutine and the process with it.
+// the simulator (or injected at fault.PointMemsimSweepWorker) becomes that
+// job's error instead of killing the worker goroutine and the process with
+// it.
 func runJob(ctx context.Context, g *cdag.Graph, job Job) (stats *Stats, err error) {
-	if perr := fault.Capture(sweepWorkerFault, func() {
-		fault.Inject(sweepWorkerFault)
+	if perr := fault.Capture(fault.PointMemsimSweepWorker, func() {
+		fault.Inject(fault.PointMemsimSweepWorker)
 		stats, err = RunCtx(ctx, g, job.Cfg, job.Order, job.Owner)
 	}); perr != nil {
 		return nil, perr
@@ -49,6 +45,7 @@ type Job struct {
 func Sweep(g *cdag.Graph, jobs []Job, workers int) ([]*Stats, error) {
 	// context.Background() is never cancelled, so SweepCtx degenerates to the
 	// historical behavior.
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	return SweepCtx(context.Background(), g, jobs, workers)
 }
 

@@ -68,6 +68,7 @@ func (q *stateQueue) pop() (gameState, int, bool) {
 func OptimalIO(g *cdag.Graph, variant Variant, s int, opts OptimalOptions) (int, error) {
 	// context.Background() is never cancelled, so OptimalIOCtx degenerates to
 	// the historical behavior.
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	return OptimalIOCtx(context.Background(), g, variant, s, opts)
 }
 

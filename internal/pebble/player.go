@@ -54,6 +54,7 @@ func (e *ScheduleError) Error() string { return "pebble: invalid schedule: " + e
 // a dense list so evictions scan occupancy instead of the whole vertex range.
 func PlaySchedule(g *cdag.Graph, variant Variant, s int, order []cdag.VertexID,
 	policy EvictionPolicy, record bool) (Result, error) {
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	return PlayScheduleCtx(context.Background(), g, variant, s, order, policy, record)
 }
 

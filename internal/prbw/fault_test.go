@@ -24,7 +24,7 @@ func TestPlayPanicIsIsolated(t *testing.T) {
 	}
 
 	restore := fault.SetHook(func(point string) {
-		if point == playFault {
+		if point == fault.PointPRBWPlay {
 			panic("injected play crash")
 		}
 	})
@@ -34,8 +34,8 @@ func TestPlayPanicIsIsolated(t *testing.T) {
 	if !errors.As(err, &pe) {
 		t.Fatalf("injected panic surfaced as %v, want *fault.PanicError", err)
 	}
-	if pe.Label != playFault {
-		t.Fatalf("PanicError label %q, want %q", pe.Label, playFault)
+	if pe.Label != fault.PointPRBWPlay {
+		t.Fatalf("PanicError label %q, want %q", pe.Label, fault.PointPRBWPlay)
 	}
 
 	got, err := Play(g, topo, asg)

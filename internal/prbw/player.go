@@ -196,14 +196,9 @@ type player struct {
 func Play(g *cdag.Graph, topo Topology, asg Assignment) (*Stats, error) {
 	// context.Background() is never cancelled, so PlayCtx degenerates to the
 	// historical behavior.
+	//cdaglint:allow ctxflow deprecated no-ctx entry point; documented as a never-cancelled run
 	return PlayCtx(context.Background(), g, topo, asg)
 }
-
-// playFault is the fault-injection point inside the P-RBW player, triggered
-// on entry and at every context-check boundary (once per 4096 compute
-// steps).  Tests install a fault.Hook that panics or stalls here to prove a
-// poisoned play fails its own request, never the process.
-const playFault = "prbw.play"
 
 // PlayCtx is Play under a context: the schedule loop checks ctx every 4096
 // compute steps (individual game moves stay atomic) and returns ctx.Err()
@@ -211,8 +206,8 @@ const playFault = "prbw.play"
 // the game — every move, every statistic — is bit-identical to Play.
 //
 // The whole play runs under a recover wrapper: a panic inside the player (or
-// injected at the playFault point) is returned as a *fault.PanicError
-// instead of crashing the caller's process.
+// injected at the fault.PointPRBWPlay point) is returned as a
+// *fault.PanicError instead of crashing the caller's process.
 func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) (stats *Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -220,10 +215,10 @@ func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) 
 				stats, err = nil, pe
 				return
 			}
-			stats, err = nil, &fault.PanicError{Label: playFault, Value: r, Stack: debug.Stack()}
+			stats, err = nil, &fault.PanicError{Label: fault.PointPRBWPlay, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	fault.Inject(playFault)
+	fault.Inject(fault.PointPRBWPlay)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -281,7 +276,7 @@ func PlayCtx(ctx context.Context, g *cdag.Graph, topo Topology, asg Assignment) 
 	// Execute the schedule.
 	for i, v := range asg.Order {
 		if i&4095 == 0 {
-			fault.Inject(playFault)
+			fault.Inject(fault.PointPRBWPlay)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

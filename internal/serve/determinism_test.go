@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestFreshDaemonResponsesAreByteStable pins the wire-level determinism
+// contract: two freshly started daemons answering the same request sequence
+// for the first time (nothing memoized, nothing recovered) must produce
+// byte-identical response bodies.  encoding/json sorts map keys, so any
+// divergence here means a response leaked map-iteration order, goroutine
+// scheduling, or another ambient source into its payload.
+func TestFreshDaemonResponsesAreByteStable(t *testing.T) {
+	const spec = `{"gen":{"kind":"jacobi","dim":2,"n":4,"steps":2}}`
+	// Per-graph requests issued after the upload; an empty path is the
+	// metadata GET.  The last two pin error bodies, not just successes.
+	requests := []struct {
+		name, method, path, body string
+	}{
+		{"reupload", "POST", "", spec},
+		{"metadata", "GET", "", ""},
+		{"wmax", "POST", "/wmax", `{}`},
+		{"wavefront", "POST", "/wavefront", `{"vertex":7}`},
+		{"analyze", "POST", "/analyze", `{"s":3}`},
+		{"play", "POST", "/play", `{"s":3}`},
+		{"simulate", "POST", "/simulate", `{"nodes":1,"fast_words":8}`},
+		{"sweep", "POST", "/sweep", `{"jobs":[{"nodes":1,"fast_words":4},{"nodes":1,"fast_words":8}]}`},
+		{"prbw", "POST", "/prbw", `{"p":1,"s1":4,"sl":1024}`},
+		{"bad-vertex", "POST", "/wavefront", `{"vertex":9999}`},
+		{"bad-json", "POST", "/analyze", `{"s":`},
+	}
+
+	// run drives one fresh daemon through the full sequence and returns the
+	// raw response bodies in request order, upload first.
+	run := func(t *testing.T) [][]byte {
+		t.Helper()
+		_, hs := testServer(t, Config{})
+		status, _, raw := doRaw(t, "POST", hs.URL+"/v1/graphs", spec)
+		if status != http.StatusCreated {
+			t.Fatalf("upload: status %d body %s", status, raw)
+		}
+		var up struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &up); err != nil || up.ID == "" {
+			t.Fatalf("upload: no id in body %s (%v)", raw, err)
+		}
+		bodies := [][]byte{raw}
+		for _, r := range requests {
+			var url string
+			if r.name == "reupload" {
+				url = hs.URL + "/v1/graphs"
+			} else {
+				url = hs.URL + "/v1/graphs/" + up.ID + r.path
+			}
+			_, _, raw := doRaw(t, r.method, url, r.body)
+			bodies = append(bodies, raw)
+		}
+		return bodies
+	}
+
+	first := run(t)
+	second := run(t)
+	names := append([]string{"upload"}, func() []string {
+		var ns []string
+		for _, r := range requests {
+			ns = append(ns, r.name)
+		}
+		return ns
+	}()...)
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Errorf("%s: response bodies diverged across fresh daemons:\n  daemon A: %s\n  daemon B: %s",
+				names[i], first[i], second[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cdagio/internal/core"
+	"cdagio/internal/fault"
 	"cdagio/internal/gen"
 )
 
@@ -79,7 +80,7 @@ func TestWarmRestartReplaysAcknowledgedResponses(t *testing.T) {
 	// is NOT acknowledged.  The log now carries a garbage region that recovery
 	// must resynchronize across.
 	restore := FaultPoint(func(point string) {
-		if point == "store.append.torn" {
+		if point == fault.PointStoreAppendTorn {
 			panic("injected torn write")
 		}
 	})
@@ -130,7 +131,7 @@ func TestReadyzGatedOnRecovery(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	block := make(chan struct{})
 	restore := FaultPoint(func(point string) {
-		if point == "store.recover" {
+		if point == fault.PointStoreRecover {
 			entered <- struct{}{}
 			<-block
 		}
@@ -223,7 +224,7 @@ func TestFsyncFailureDegradesWithoutPoisoning(t *testing.T) {
 	id := upload(t, hs.URL, `{"gen":{"kind":"chain","n":32}}`)
 
 	restore := FaultPoint(func(point string) {
-		if point == "store.append.fsync" {
+		if point == fault.PointStoreAppendFsync {
 			panic("injected fsync failure")
 		}
 	})

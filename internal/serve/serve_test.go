@@ -15,6 +15,7 @@ import (
 
 	"cdagio/internal/cdag"
 	"cdagio/internal/core"
+	"cdagio/internal/fault"
 	"cdagio/internal/gen"
 )
 
@@ -194,7 +195,7 @@ func TestWMaxWorkerPanicIsolation(t *testing.T) {
 	// Crash a worker mid-scan.  The request body differs by whitespace so the
 	// memo cannot mask the engine run.
 	restore := FaultPoint(func(point string) {
-		if point == "graphalg.wmax.worker" {
+		if point == fault.PointWMaxWorker {
 			panic("injected worker crash")
 		}
 	})
@@ -248,7 +249,7 @@ func TestAdmissionControl(t *testing.T) {
 	entered := make(chan struct{}, 8)
 	block := make(chan struct{})
 	restore := FaultPoint(func(point string) {
-		if point == "memsim.sweep.worker" {
+		if point == fault.PointMemsimSweepWorker {
 			entered <- struct{}{}
 			<-block
 		}
@@ -335,7 +336,7 @@ func TestNoQueueRejectsImmediately(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	block := make(chan struct{})
 	restore := FaultPoint(func(point string) {
-		if point == "memsim.sweep.worker" {
+		if point == fault.PointMemsimSweepWorker {
 			entered <- struct{}{}
 			<-block
 		}
@@ -389,7 +390,7 @@ func TestDeadlineExceededIs504(t *testing.T) {
 	// The hook stalls the sweep worker well past the request deadline; the
 	// engine notices the expired context right after and returns ctx.Err().
 	restore := FaultPoint(func(point string) {
-		if point == "memsim.sweep.worker" {
+		if point == fault.PointMemsimSweepWorker {
 			time.Sleep(300 * time.Millisecond)
 		}
 	})
@@ -462,7 +463,7 @@ func TestGracefulDrain(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	block := make(chan struct{})
 	restore := FaultPoint(func(point string) {
-		if point == "memsim.sweep.worker" {
+		if point == fault.PointMemsimSweepWorker {
 			entered <- struct{}{}
 			<-block
 		}

@@ -607,6 +607,7 @@ func (s *Server) Run(ctx context.Context, ready func(addr net.Addr)) error {
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// Every request context descends from lifeCtx, so the forced phase of the
 	// drain cancels whatever Shutdown's grace period could not wait out.
+	//cdaglint:allow ctxflow request contexts must outlive the accept ctx so the drain can force-cancel them after it ends
 	lifeCtx, forceCancel := context.WithCancel(context.Background())
 	defer forceCancel()
 	hs := &http.Server{
@@ -617,6 +618,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
 		s.draining.Store(true)
+		//cdaglint:allow ctxflow the drain grace period starts exactly when the serve ctx is already cancelled
 		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		err := hs.Shutdown(shCtx)

@@ -137,7 +137,7 @@ func Open(dir string, opt Options) (*Store, error) {
 // called exactly once, before the first Append; it also starts the writer
 // goroutine, so a store that is never Recovered never accepts appends.
 func (s *Store) Recover(apply func(Record)) (RecoverStats, error) {
-	fault.Inject("store.recover")
+	fault.Inject(fault.PointStoreRecover)
 	if s.recoverCalled.Swap(true) {
 		return RecoverStats{}, errors.New("store: Recover called twice")
 	}
@@ -258,7 +258,7 @@ func (s *Store) commit(batch []*appendReq) {
 
 // writeFrame appends one frame to the log.  Caller holds s.mu.
 func (s *Store) writeFrame(frame []byte) error {
-	if err := injectErr("store.append.torn"); err != nil {
+	if err := fault.InjectErr(fault.PointStoreAppendTorn); err != nil {
 		// Simulate a crash mid-write: half the frame lands, the rest never
 		// does.  The log now ends (or continues) with a torn frame, exactly
 		// what a SIGKILL between two write(2) calls would leave behind.
@@ -276,7 +276,7 @@ func (s *Store) writeFrame(frame []byte) error {
 
 // syncLocked makes the written frames durable.  Caller holds s.mu.
 func (s *Store) syncLocked() error {
-	if err := injectErr("store.append.fsync"); err != nil {
+	if err := fault.InjectErr(fault.PointStoreAppendFsync); err != nil {
 		return err
 	}
 	if s.opt.NoFsync {
@@ -299,19 +299,6 @@ func (s *Store) drainPending(err error) {
 			return
 		}
 	}
-}
-
-// injectErr fires the named fault point and converts an injected panic into
-// an error, so a test hook can force an I/O failure (not just a goroutine
-// crash) at the seams where the store must degrade gracefully.
-func injectErr(point string) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("store: injected fault at %s: %v", point, r)
-		}
-	}()
-	fault.Inject(point)
-	return nil
 }
 
 // Size returns the current log size in bytes.
@@ -367,7 +354,7 @@ func (s *Store) Compact(keep func(Record) bool) error {
 		werr = tmp.Sync()
 	}
 	if werr == nil {
-		werr = injectErr("store.compact.rename")
+		werr = fault.InjectErr(fault.PointStoreCompactRename)
 	}
 	if werr != nil {
 		tmp.Close()

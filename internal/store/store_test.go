@@ -267,13 +267,13 @@ func TestCompactRenameCrashLeavesOldLog(t *testing.T) {
 		}
 	}
 	restore := fault.SetHook(func(point string) {
-		if point == "store.compact.rename" {
+		if point == fault.PointStoreCompactRename {
 			panic("injected crash before rename")
 		}
 	})
 	err := st.Compact(func(Record) bool { return false })
 	restore()
-	if err == nil || !strings.Contains(err.Error(), "store.compact.rename") {
+	if err == nil || !strings.Contains(err.Error(), fault.PointStoreCompactRename) {
 		t.Fatalf("Compact with rename fault: err %v, want injected failure", err)
 	}
 	if _, serr := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(serr) {
@@ -299,13 +299,13 @@ func TestFsyncFaultFailsAppendWithoutPoisoning(t *testing.T) {
 	st, _ := openStore(t, dir, Options{}, nil)
 	rec := Record{Kind: KindGraphJSON, Key: "sha256:aa", Value: []byte("{}")}
 	restore := fault.SetHook(func(point string) {
-		if point == "store.append.fsync" {
+		if point == fault.PointStoreAppendFsync {
 			panic("injected fsync failure")
 		}
 	})
 	err := st.Append(rec)
 	restore()
-	if err == nil || !strings.Contains(err.Error(), "store.append.fsync") {
+	if err == nil || !strings.Contains(err.Error(), fault.PointStoreAppendFsync) {
 		t.Fatalf("Append under fsync fault: err %v, want injected failure", err)
 	}
 	// The store recovers the moment fsync works again.
@@ -334,7 +334,7 @@ func TestTornWriteFaultIsSkippedOnRecovery(t *testing.T) {
 	// Tear exactly one append, then write more records over the wreckage.
 	tear := true
 	restore := fault.SetHook(func(point string) {
-		if point == "store.append.torn" && tear {
+		if point == fault.PointStoreAppendTorn && tear {
 			tear = false
 			panic("injected torn write")
 		}
@@ -342,7 +342,7 @@ func TestTornWriteFaultIsSkippedOnRecovery(t *testing.T) {
 	tornRec := Record{Kind: KindMemo, Key: "sha256:0000", Sub: "torn", Value: []byte(strings.Repeat("x", 256))}
 	err := st.Append(tornRec)
 	restore()
-	if err == nil || !strings.Contains(err.Error(), "store.append.torn") {
+	if err == nil || !strings.Contains(err.Error(), fault.PointStoreAppendTorn) {
 		t.Fatalf("torn append: err %v, want injected failure", err)
 	}
 	post := Record{Kind: KindMemo, Key: "sha256:0000", Sub: "after-torn", Value: []byte("ok")}

@@ -48,8 +48,11 @@ func ScheduleWavefronts(g *cdag.Graph, order []cdag.VertexID) ([]int, error) {
 	// live counts fired vertices that still have unfired successors.
 	live := 0
 	sizes := make([]int, len(order))
+	// One hoisted predecessor row serves both passes of each step.
+	predOff, predVal := g.PredecessorCSR()
 	for i, v := range order {
-		for _, p := range g.Pred(v) {
+		preds := predVal[predOff[v]:predOff[v+1]]
+		for _, p := range preds {
 			if !fired[p] {
 				return nil, fmt.Errorf("wavefront: vertex %d fired before its predecessor %d", v, p)
 			}
@@ -58,7 +61,7 @@ func ScheduleWavefronts(g *cdag.Graph, order []cdag.VertexID) ([]int, error) {
 		if remaining[v] > 0 {
 			live++
 		}
-		for _, p := range g.Pred(v) {
+		for _, p := range preds {
 			remaining[p]--
 			if remaining[p] == 0 {
 				live--

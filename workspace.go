@@ -38,5 +38,6 @@ func Open(g *Graph) *Workspace { return core.NewWorkspace(g) }
 // openBackground is the shim behind the deprecated free functions: a fresh
 // single-use Workspace under a never-cancelled context.
 func openBackground(g *Graph) (*Workspace, context.Context) {
+	//cdaglint:allow ctxflow deprecated free-function shim; pre-PR-5 API promised a never-cancelled run
 	return core.NewWorkspace(g), context.Background()
 }
