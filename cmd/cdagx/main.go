@@ -1,0 +1,231 @@
+// Command cdagx compiles a declarative experiment spec into a job DAG and
+// executes it: graph builds, per-engine analysis cells, and derived tables.
+// Results are content-addressed and journaled, so an unchanged spec re-runs
+// as pure cache hits and regenerates byte-identical artifacts without
+// executing a single cell.
+//
+// Usage:
+//
+//	cdagx run [flags] SPEC     execute a spec and write artifacts
+//	cdagx plan SPEC            print the compiled job DAG without running it
+//	cdagx clean [flags]        delete the result journal
+//
+// Flags for run:
+//
+//	-j N            worker pool size (default 4)
+//	-remote URL     dispatch engine cells to a running cdagd
+//	-cache-dir DIR  result journal directory (default .cdagx)
+//	-no-cache       run without a journal (compute everything, persist nothing)
+//	-out DIR        artifact directory (default exp-out)
+//	-short          skip heavy cells that are not already cached
+//	-timeout D      overall deadline (default none)
+//	-summary FILE   write a JSON execution summary
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"cdagio/internal/exp/cache"
+	"cdagio/internal/exp/plan"
+	"cdagio/internal/exp/run"
+	"cdagio/internal/exp/spec"
+	"cdagio/internal/serve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "clean":
+		err = cmdClean(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cdagx: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdagx: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cdagx run|plan|clean [flags] [SPEC]\n")
+}
+
+func compileSpec(path string) (*spec.IR, error) {
+	s, err := spec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Compile(s, spec.Options{})
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("plan: expected exactly one SPEC argument")
+	}
+	ir, err := compileSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pl := plan.New(ir)
+	for _, j := range pl.Jobs {
+		fmt.Printf("%4d %-6s %s", j.ID, j.Kind, j.Label)
+		if len(j.Deps) > 0 {
+			fmt.Printf("  deps=%v", j.Deps)
+		}
+		if j.Cell != nil {
+			if j.Cell.Engine != "" {
+				fmt.Printf("  engine=%s", j.Cell.Engine)
+			}
+			fmt.Printf("  key=%s", j.Cell.Key[:12])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d jobs (%d cells) over %d workloads\n", len(pl.Jobs), len(pl.CellJobs), len(pl.BuildJob))
+	return nil
+}
+
+func cmdClean(args []string) error {
+	fs := flag.NewFlagSet("clean", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", ".cdagx", "result journal directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range []string{"log.bin", "log.tmp"} {
+		p := filepath.Join(*cacheDir, name)
+		err := os.Remove(p)
+		switch {
+		case err == nil:
+			removed = true
+		case !os.IsNotExist(err):
+			return err
+		}
+	}
+	if removed {
+		fmt.Printf("cleaned %s\n", *cacheDir)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("j", 4, "worker pool size")
+	remote := fs.String("remote", "", "base URL of a running cdagd to dispatch engine cells to")
+	cacheDir := fs.String("cache-dir", ".cdagx", "result journal directory")
+	noCache := fs.Bool("no-cache", false, "run without a journal")
+	outDir := fs.String("out", "exp-out", "artifact output directory")
+	short := fs.Bool("short", false, "skip heavy cells that are not already cached")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	summaryPath := fs.String("summary", "", "write a JSON execution summary to FILE")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: expected exactly one SPEC argument")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ir, err := compileSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pl := plan.New(ir)
+
+	opts := run.Options{Workers: *workers, Short: *short}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	if !*noCache {
+		c, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if opts.Log != nil && (c.Recovery.CorruptRecords > 0 || c.Recovery.TruncatedBytes > 0) {
+			opts.Log("journal recovery: %d records kept, %d corrupt, %d bytes truncated",
+				c.Recovery.Records, c.Recovery.CorruptRecords, c.Recovery.TruncatedBytes)
+		}
+		opts.Cache = c
+	}
+	if *remote != "" {
+		opts.Remote = &serve.Client{Base: *remote}
+	}
+
+	start := time.Now()
+	res, err := run.Execute(ctx, pl, opts)
+	if err != nil {
+		return err
+	}
+	wallMS := time.Since(start).Milliseconds()
+
+	if err := os.MkdirAll(*outDir, 0o777); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		body []byte
+	}{
+		{"EXPERIMENTS.gen.md", res.Outputs.Markdown},
+		{"results.csv", res.Outputs.CSV},
+		{"results.json", res.Outputs.JSON},
+	} {
+		if err := os.WriteFile(filepath.Join(*outDir, f.name), f.body, 0o666); err != nil {
+			return err
+		}
+	}
+
+	s := res.Summary
+	fmt.Printf("%s: %d cells, %d executed (%d remote), %d cache hits, %d skipped, %d ms\n",
+		ir.Name, s.Cells, s.Executed, s.Remote, s.CacheHits, s.Skipped, wallMS)
+
+	if *summaryPath != "" {
+		doc := struct {
+			run.Summary
+			Spec   string `json:"spec"`
+			WallMS int64  `json:"wall_ms"`
+		}{s, fs.Arg(0), wallMS}
+		body, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*summaryPath, append(body, '\n'), 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package cache content-addresses experiment-cell results through
+// internal/store's crash-safe journal.  Keys are the cells' spec-computed
+// content addresses (graph hash × engine kind × canonical params), so a
+// re-run of an unchanged spec hits on every cell, an edited spec recomputes
+// only the edited delta, and a corrupt or torn journal record costs exactly
+// the affected cells — recovery resynchronizes past it and every other cell
+// still hits.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"cdagio/internal/store"
+)
+
+// Cache is a journal-backed result cache, safe for concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	st  *store.Store
+	mem map[string][]byte
+
+	// Recovery is the journal recovery outcome of Open; CorruptRecords > 0
+	// means some previously cached cells were lost and will recompute.
+	Recovery store.RecoverStats
+}
+
+// Open opens (or creates) the result journal in dir and replays it.
+func Open(dir string) (*Cache, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("exp cache: %w", err)
+	}
+	c := &Cache{st: st, mem: map[string][]byte{}}
+	stats, err := st.Recover(func(rec store.Record) {
+		if rec.Kind == store.KindExpResult {
+			c.mem[rec.Key] = rec.Value
+		}
+	})
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("exp cache: recover: %w", err)
+	}
+	c.Recovery = stats
+	return c, nil
+}
+
+// Get returns the cached result body for key, if present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.mem[key]
+	return v, ok
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Put journals the result body under key — durability first, visibility
+// after: the in-memory entry appears only once the record is appended, so a
+// hit can never name a result the journal does not hold.
+func (c *Cache) Put(key string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[key]; ok {
+		return nil
+	}
+	err := c.st.Append(store.Record{Kind: store.KindExpResult, Key: key, Value: body})
+	if err != nil {
+		return fmt.Errorf("exp cache: append: %w", err)
+	}
+	c.mem[key] = append([]byte(nil), body...)
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (c *Cache) Close() error {
+	return c.st.Close()
+}

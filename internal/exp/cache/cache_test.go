@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := c.Put("k1", []byte(`{"a":1}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Duplicate puts are no-ops, not journal growth.
+	if err := c.Put("k1", []byte(`{"a":2}`)); err != nil {
+		t.Fatalf("Put dup: %v", err)
+	}
+	if v, ok := c.Get("k1"); !ok || string(v) != `{"a":1}` {
+		t.Fatalf("Get before reopen = %q, %v", v, ok)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	if c2.Recovery.CorruptRecords != 0 {
+		t.Errorf("clean reopen reports %d corrupt records", c2.Recovery.CorruptRecords)
+	}
+	if v, ok := c2.Get("k1"); !ok || string(v) != `{"a":1}` {
+		t.Fatalf("Get after reopen = %q, %v (first write must win)", v, ok)
+	}
+	if c2.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c2.Len())
+	}
+}
+
+// writeThree opens a fresh cache in dir and journals three results.
+func writeThree(t *testing.T, dir string) {
+	t.Helper()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, k := range []string{"alpha", "beta", "gamma"} {
+		if err := c.Put(k, []byte(`{"cell":"`+k+`"}`)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// A flipped byte inside one record must cost exactly the affected cell:
+// recovery resynchronizes past the bad frame and the other cells still hit.
+func TestCorruptRecordCostsOnlyItsCell(t *testing.T) {
+	dir := t.TempDir()
+	writeThree(t, dir)
+
+	log := filepath.Join(dir, "log.bin")
+	buf, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	// Flip a payload byte in the middle record (the journal is three
+	// equal-length frames; offset len/2 lands inside the second).
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(log, buf, 0o644); err != nil {
+		t.Fatalf("rewrite journal: %v", err)
+	}
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen corrupt: %v", err)
+	}
+	defer c.Close()
+	if c.Recovery.CorruptRecords == 0 {
+		t.Fatalf("recovery saw no corruption after byte flip")
+	}
+	hits := 0
+	for _, k := range []string{"alpha", "beta", "gamma"} {
+		if _, ok := c.Get(k); ok {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("%d of 3 cells survive one corrupt record, want 2", hits)
+	}
+	// The lost cell is recomputable: a fresh Put must restore it.
+	if err := c.Put("beta", []byte(`{"cell":"beta"}`)); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if _, ok := c.Get("beta"); !ok {
+		t.Errorf("re-Put cell still missing")
+	}
+}
+
+// A torn tail (partial final record after a crash) must cost only the final
+// cell; recovery truncates it and earlier cells hit.
+func TestTornTailCostsOnlyLastCell(t *testing.T) {
+	dir := t.TempDir()
+	writeThree(t, dir)
+
+	log := filepath.Join(dir, "log.bin")
+	buf, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if err := os.WriteFile(log, buf[:len(buf)-5], 0o644); err != nil {
+		t.Fatalf("tear journal: %v", err)
+	}
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer c.Close()
+	if c.Recovery.TruncatedBytes == 0 {
+		t.Errorf("recovery reports no truncation after torn tail")
+	}
+	if _, ok := c.Get("alpha"); !ok {
+		t.Errorf("alpha lost to an unrelated torn tail")
+	}
+	if _, ok := c.Get("beta"); !ok {
+		t.Errorf("beta lost to an unrelated torn tail")
+	}
+	if _, ok := c.Get("gamma"); ok {
+		t.Errorf("torn final record still served")
+	}
+	// The journal stays appendable after recovery.
+	if err := c.Put("gamma", []byte(`{"cell":"gamma"}`)); err != nil {
+		t.Fatalf("Put after torn recovery: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package plan lowers a compiled experiment IR into an explicit job DAG:
+// one build job per referenced workload, one cell job per compiled cell
+// depending on its build, and one derive job per experiment depending on its
+// cells.  The DAG is purely declarative — the executor (internal/exp/run)
+// walks it with a bounded worker pool and skips any cell job whose content
+// address is already journaled.
+package plan
+
+import (
+	"fmt"
+
+	"cdagio/internal/exp/spec"
+)
+
+// JobKind classifies plan jobs.
+type JobKind int
+
+const (
+	// Build materializes a workload graph and wraps it in a Workspace.
+	Build JobKind = iota
+	// CellJob runs one analysis cell against its built workload (or no
+	// workload for graph-free kinds).
+	CellJob
+	// Derive renders one experiment's emitted tables and derived metrics
+	// from its cell results.
+	Derive
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case Build:
+		return "build"
+	case CellJob:
+		return "cell"
+	case Derive:
+		return "derive"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
+// Job is one node of the DAG.
+type Job struct {
+	ID    int
+	Kind  JobKind
+	Label string
+	// Workload names the generator graph (Build and workload-bearing
+	// CellJob jobs).
+	Workload string
+	// Cell is the compiled cell (CellJob jobs).
+	Cell *spec.Cell
+	// Exp is the experiment index (Derive jobs).
+	Exp int
+	// Deps lists job IDs that must complete first.
+	Deps []int
+}
+
+// Plan is the lowered DAG, jobs in a valid topological order.
+type Plan struct {
+	IR   *spec.IR
+	Jobs []Job
+	// BuildJob maps workload name to its Build job ID, for workloads
+	// referenced by at least one cell.
+	BuildJob map[string]int
+	// CellJobs lists the IDs of all CellJob jobs, in cell order.
+	CellJobs []int
+}
+
+// New lowers ir into its job DAG.  Ordering is deterministic: builds in
+// workload declaration order (referenced ones only), then cells in compiled
+// order, then one derive job per experiment.
+func New(ir *spec.IR) *Plan {
+	p := &Plan{IR: ir, BuildJob: map[string]int{}}
+
+	referenced := map[string]bool{}
+	for i := range ir.Cells {
+		if ir.Cells[i].Workload != "" {
+			referenced[ir.Cells[i].Workload] = true
+		}
+	}
+	for i := range ir.Workloads {
+		w := &ir.Workloads[i]
+		if !referenced[w.Name] {
+			continue
+		}
+		id := len(p.Jobs)
+		p.BuildJob[w.Name] = id
+		p.Jobs = append(p.Jobs, Job{
+			ID: id, Kind: Build, Label: "build:" + w.Name, Workload: w.Name,
+		})
+	}
+
+	cellsOf := make([][]int, len(ir.Experiments))
+	for i := range ir.Cells {
+		c := &ir.Cells[i]
+		id := len(p.Jobs)
+		job := Job{ID: id, Kind: CellJob, Label: c.Kind + ":" + c.Label(), Workload: c.Workload, Cell: c}
+		if c.Workload != "" {
+			job.Deps = []int{p.BuildJob[c.Workload]}
+		}
+		p.Jobs = append(p.Jobs, job)
+		p.CellJobs = append(p.CellJobs, id)
+		cellsOf[c.ExpIndex] = append(cellsOf[c.ExpIndex], id)
+	}
+
+	for ei := range ir.Experiments {
+		id := len(p.Jobs)
+		p.Jobs = append(p.Jobs, Job{
+			ID: id, Kind: Derive, Label: "derive:" + ir.Experiments[ei].Name,
+			Exp: ei, Deps: cellsOf[ei],
+		})
+	}
+	return p
+}

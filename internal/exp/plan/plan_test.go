@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"testing"
+
+	"cdagio/internal/exp/spec"
+)
+
+func TestPlanShape(t *testing.T) {
+	s, err := spec.Parse([]byte(`
+name: x
+workloads:
+  - name: used
+    kind: heat
+    n: 16
+    steps: 4
+  - name: unused
+    kind: chain
+    n: 8
+experiments:
+  - name: stats
+    kind: graphstat
+    workload: used
+  - name: t1
+    kind: table1
+machines: [bgq]
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ir, err := spec.Compile(s, spec.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p := New(ir)
+
+	// Only referenced workloads get build jobs.
+	if len(p.BuildJob) != 1 {
+		t.Fatalf("got %d build jobs, want 1 (unused workloads are not built)", len(p.BuildJob))
+	}
+	buildID, ok := p.BuildJob["used"]
+	if !ok {
+		t.Fatalf("no build job for workload used")
+	}
+
+	if len(p.CellJobs) != 2 {
+		t.Fatalf("got %d cell jobs, want 2", len(p.CellJobs))
+	}
+	// The graphstat cell depends on its build; the table1 cell on nothing.
+	for _, id := range p.CellJobs {
+		j := p.Jobs[id]
+		switch j.Cell.Kind {
+		case "graphstat":
+			if len(j.Deps) != 1 || j.Deps[0] != buildID {
+				t.Errorf("graphstat deps = %v, want [%d]", j.Deps, buildID)
+			}
+		case "table1":
+			if len(j.Deps) != 0 {
+				t.Errorf("table1 deps = %v, want none", j.Deps)
+			}
+		}
+	}
+
+	// One derive job per experiment, depending on exactly its cells, and the
+	// whole job list is topologically ordered (deps precede dependents).
+	derives := 0
+	for _, j := range p.Jobs {
+		if j.Kind == Derive {
+			derives++
+			if len(j.Deps) != 1 {
+				t.Errorf("derive %q deps = %v, want one cell", j.Label, j.Deps)
+			}
+		}
+		for _, d := range j.Deps {
+			if d >= j.ID {
+				t.Errorf("job %d (%s) depends on later job %d", j.ID, j.Label, d)
+			}
+		}
+	}
+	if derives != 2 {
+		t.Errorf("got %d derive jobs, want 2", derives)
+	}
+}

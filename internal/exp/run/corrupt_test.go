@@ -1,0 +1,22 @@
+package run
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptJournal flips one byte in the middle of the journal, inside some
+// interior record.
+func corruptJournal(t *testing.T, dir string) {
+	t.Helper()
+	log := filepath.Join(dir, "log.bin")
+	buf, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(log, buf, 0o644); err != nil {
+		t.Fatalf("rewrite journal: %v", err)
+	}
+}

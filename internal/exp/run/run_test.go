@@ -1,0 +1,217 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cdagio/internal/exp/cache"
+	"cdagio/internal/exp/plan"
+	"cdagio/internal/exp/spec"
+	"cdagio/internal/serve"
+)
+
+const testSpec = `
+name: runner-test
+machines: [bgq, xt5]
+workloads:
+  - name: heat
+    kind: heat
+    n: 16
+    steps: 4
+experiments:
+  - name: t1
+    kind: table1
+  - name: stats
+    kind: graphstat
+    workload: heat
+    critical_path: true
+  - name: play
+    kind: play
+    workload: heat
+    s: [4, 8]
+  - name: sim
+    kind: sweep
+    workload: heat
+    s: [8]
+  - name: deep
+    kind: analyze
+    workload: heat
+    heavy: true
+    s: [8]
+`
+
+func compilePlan(t *testing.T, text string) *plan.Plan {
+	t.Helper()
+	s, err := spec.Parse([]byte(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ir, err := spec.Compile(s, spec.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return plan.New(ir)
+}
+
+// Running the same spec twice against one journal must execute every cell
+// exactly once and render byte-identical artifacts the second time.
+func TestSecondRunIsAllCacheHits(t *testing.T) {
+	dir := t.TempDir()
+	pl := compilePlan(t, testSpec)
+
+	c1, err := cache.Open(dir)
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+	res1, err := Execute(context.Background(), pl, Options{Cache: c1})
+	if err != nil {
+		t.Fatalf("first Execute: %v", err)
+	}
+	c1.Close()
+	if res1.Summary.Executed != res1.Summary.Cells || res1.Summary.CacheHits != 0 {
+		t.Fatalf("first run: %+v, want all %d cells executed", res1.Summary, res1.Summary.Cells)
+	}
+
+	// Recompile from scratch — keys, not object identity, must carry the
+	// hits — and run with a different worker count.
+	pl2 := compilePlan(t, testSpec)
+	c2, err := cache.Open(dir)
+	if err != nil {
+		t.Fatalf("cache reopen: %v", err)
+	}
+	defer c2.Close()
+	res2, err := Execute(context.Background(), pl2, Options{Cache: c2, Workers: 1})
+	if err != nil {
+		t.Fatalf("second Execute: %v", err)
+	}
+	if res2.Summary.Executed != 0 {
+		t.Errorf("second run executed %d cells, want 0", res2.Summary.Executed)
+	}
+	if res2.Summary.CacheHits != res2.Summary.Cells {
+		t.Errorf("second run: %d hits of %d cells", res2.Summary.CacheHits, res2.Summary.Cells)
+	}
+	if !bytes.Equal(res1.Outputs.Markdown, res2.Outputs.Markdown) {
+		t.Errorf("markdown differs between runs")
+	}
+	if !bytes.Equal(res1.Outputs.CSV, res2.Outputs.CSV) {
+		t.Errorf("csv differs between runs")
+	}
+	if !bytes.Equal(res1.Outputs.JSON, res2.Outputs.JSON) {
+		t.Errorf("json differs between runs")
+	}
+}
+
+// -short skips heavy cache-missed cells but serves heavy cells that are
+// already journaled.
+func TestShortSkipsOnlyUncachedHeavyCells(t *testing.T) {
+	dir := t.TempDir()
+	pl := compilePlan(t, testSpec)
+	c, err := cache.Open(dir)
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+	res, err := Execute(context.Background(), pl, Options{Cache: c, Short: true})
+	if err != nil {
+		t.Fatalf("short Execute: %v", err)
+	}
+	if res.Summary.Skipped != 1 {
+		t.Fatalf("short run skipped %d cells, want 1 (the heavy analyze)", res.Summary.Skipped)
+	}
+	if !bytes.Contains(res.Outputs.Markdown, []byte("skipped under -short")) {
+		t.Errorf("markdown does not mark the skipped experiment")
+	}
+	c.Close()
+
+	// Fill the cache with a full run, then -short again: nothing skipped.
+	c2, _ := cache.Open(dir)
+	if _, err := Execute(context.Background(), pl, Options{Cache: c2}); err != nil {
+		t.Fatalf("full Execute: %v", err)
+	}
+	c2.Close()
+	c3, _ := cache.Open(dir)
+	defer c3.Close()
+	res3, err := Execute(context.Background(), pl, Options{Cache: c3, Short: true})
+	if err != nil {
+		t.Fatalf("short Execute after fill: %v", err)
+	}
+	if res3.Summary.Skipped != 0 || res3.Summary.Executed != 0 {
+		t.Errorf("warm short run: %+v, want all hits", res3.Summary)
+	}
+}
+
+// Engine cells dispatched to a live cdagd must cache the same bytes as local
+// execution, so local and remote runs share journal entries.
+func TestRemoteMatchesLocalByteForByte(t *testing.T) {
+	pl := compilePlan(t, testSpec)
+
+	local, err := Execute(context.Background(), pl, Options{})
+	if err != nil {
+		t.Fatalf("local Execute: %v", err)
+	}
+
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	remote, err := Execute(context.Background(), pl, Options{Remote: &serve.Client{Base: hs.URL}})
+	if err != nil {
+		t.Fatalf("remote Execute: %v", err)
+	}
+	if remote.Summary.Remote == 0 {
+		t.Fatalf("remote run dispatched no cells")
+	}
+	if !bytes.Equal(local.Outputs.Markdown, remote.Outputs.Markdown) {
+		t.Errorf("markdown differs between local and remote execution")
+	}
+	if !bytes.Equal(local.Outputs.CSV, remote.Outputs.CSV) {
+		t.Errorf("csv differs between local and remote execution")
+	}
+	if !bytes.Equal(local.Outputs.JSON, remote.Outputs.JSON) {
+		t.Errorf("json differs between local and remote execution")
+	}
+}
+
+// A corrupt journal record costs exactly its cell: the next run recomputes
+// it, hits on everything else, and renders identical artifacts.
+func TestCorruptJournalRecomputesOnlyAffectedCells(t *testing.T) {
+	dir := t.TempDir()
+	pl := compilePlan(t, testSpec)
+	c, err := cache.Open(dir)
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+	res1, err := Execute(context.Background(), pl, Options{Cache: c})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	c.Close()
+
+	corruptJournal(t, dir)
+
+	c2, err := cache.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	if c2.Recovery.CorruptRecords == 0 {
+		t.Fatalf("journal corruption not detected")
+	}
+	res2, err := Execute(context.Background(), pl, Options{Cache: c2})
+	if err != nil {
+		t.Fatalf("Execute after corruption: %v", err)
+	}
+	if res2.Summary.Executed == 0 {
+		t.Errorf("no cells recomputed after journal corruption")
+	}
+	if res2.Summary.Executed == res2.Summary.Cells {
+		t.Errorf("all %d cells recomputed; corruption must cost only the affected records", res2.Summary.Cells)
+	}
+	if !bytes.Equal(res1.Outputs.Markdown, res2.Outputs.Markdown) {
+		t.Errorf("markdown differs after partial recompute")
+	}
+}

@@ -1,0 +1,309 @@
+package spec
+
+// A minimal YAML-subset parser, just enough for experiment specs without a
+// dependency: block mappings and sequences by indentation, "- " list items
+// with inline first entries, flow sequences of scalars ("[a, b]"), single-
+// and double-quoted strings, '#' comments, and bool/int/float/null scalar
+// typing.  Anchors, multi-document streams, flow mappings, tags and
+// multiline strings are out of scope and reported as errors where they
+// would change meaning.  The parse result is a JSON-marshalable tree
+// (map[string]any / []any / scalars) that Parse round-trips through
+// encoding/json into the typed Spec with DisallowUnknownFields, so typos in
+// keys fail loudly instead of being dropped.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation and comments stripped
+	n      int    // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func parseYAML(data []byte) (any, error) {
+	raw := strings.Split(string(data), "\n")
+	lines := make([]yamlLine, 0, len(raw))
+	for i, l := range raw {
+		if strings.Contains(l, "\t") && strings.TrimLeft(l, " \t") != "" &&
+			strings.IndexByte(l, '\t') < len(l)-len(strings.TrimLeft(l, " \t")) {
+			return nil, fmt.Errorf("yaml line %d: tab in indentation", i+1)
+		}
+		text := stripComment(l)
+		trimmed := strings.TrimRight(text, " \t")
+		content := strings.TrimLeft(trimmed, " ")
+		if content == "" || content == "---" {
+			continue
+		}
+		lines = append(lines, yamlLine{indent: len(trimmed) - len(content), text: content, n: i + 1})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseNode(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", l.n, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing '# ...' comment, respecting quotes: a '#'
+// inside a quoted string is content, and per YAML a comment '#' must follow
+// whitespace (or start the line).
+func stripComment(l string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(l); i++ {
+		switch c := l[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !inDouble || i == 0 || l[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || l[i-1] == ' ' || l[i-1] == '\t' {
+				return l[:i]
+			}
+		}
+	}
+	return l
+}
+
+func (p *yamlParser) cur() (yamlLine, bool) {
+	if p.pos >= len(p.lines) {
+		return yamlLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseNode parses the block node whose lines sit at exactly indent.
+func (p *yamlParser) parseNode(indent int) (any, error) {
+	l, ok := p.cur()
+	if !ok || l.indent != indent {
+		return nil, nil
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var out []any
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			return out, nil
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			p.pos++
+			next, ok := p.cur()
+			if !ok || next.indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseNode(next.indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if key, _, isMap := splitKey(rest); isMap && key != "" {
+			// "- key: value" starts an inline mapping whose further entries
+			// are indented to the column where the key begins.
+			inner := l.indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yamlLine{indent: inner, text: rest, n: l.n}
+			v, err := p.parseMapping(inner)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := parseScalar(rest, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	out := map[string]any{}
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent != indent {
+			return out, nil
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("yaml line %d: sequence item inside mapping", l.n)
+		}
+		key, val, isMap := splitKey(l.text)
+		if !isMap {
+			return nil, fmt.Errorf("yaml line %d: expected 'key: value', got %q", l.n, l.text)
+		}
+		key = unquoteKey(key)
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.n, key)
+		}
+		p.pos++
+		if val == "" {
+			next, ok := p.cur()
+			if ok && next.indent > indent {
+				v, err := p.parseNode(next.indent)
+				if err != nil {
+					return nil, err
+				}
+				out[key] = v
+			} else {
+				out[key] = nil
+			}
+			continue
+		}
+		v, err := parseScalar(val, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+}
+
+// splitKey finds the top-level "key: value" split of a line: the first ':'
+// outside quotes that ends the line or is followed by a space.
+func splitKey(s string) (key, val string, ok bool) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !inDouble || i == 0 || s[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case c == ':' && !inSingle && !inDouble:
+			if i == len(s)-1 {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func unquoteKey(k string) string {
+	if len(k) >= 2 {
+		if (k[0] == '"' && k[len(k)-1] == '"') || (k[0] == '\'' && k[len(k)-1] == '\'') {
+			if v, err := parseScalar(k, 0); err == nil {
+				if s, ok := v.(string); ok {
+					return s
+				}
+			}
+		}
+	}
+	return k
+}
+
+func parseScalar(s string, line int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseFlowSeq(s, line)
+	case s[0] == '{':
+		return nil, fmt.Errorf("yaml line %d: flow mappings are not supported", line)
+	case s[0] == '&' || s[0] == '*' || s[0] == '|' || s[0] == '>':
+		return nil, fmt.Errorf("yaml line %d: anchors/aliases/block scalars are not supported", line)
+	case s[0] == '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return nil, fmt.Errorf("yaml line %d: unterminated double-quoted string", line)
+		}
+		return strconv.Unquote(s)
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yaml line %d: unterminated single-quoted string", line)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "Null", "~":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+func parseFlowSeq(s string, line int) (any, error) {
+	if s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("yaml line %d: unterminated flow sequence %q", line, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	if inner == "" {
+		return out, nil
+	}
+	start, depth := 0, 0
+	inSingle, inDouble := false, false
+	emit := func(end int) error {
+		item := strings.TrimSpace(inner[start:end])
+		if item == "" {
+			return fmt.Errorf("yaml line %d: empty item in flow sequence", line)
+		}
+		v, err := parseScalar(item, line)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		start = end + 1
+		return nil
+	}
+	for i := 0; i < len(inner); i++ {
+		switch c := inner[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !inDouble || i == 0 || inner[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case inSingle || inDouble:
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			if err := emit(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := emit(len(inner)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

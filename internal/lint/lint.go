@@ -52,7 +52,8 @@ var hotPackages = set("graphalg", "pebble", "prbw", "memsim", "sched", "wavefron
 // bit-identical across engine modes, worker counts and warm restarts.  Any
 // nondeterminism source inside them is a reproducibility bug by definition.
 var enginePackages = set("cdag", "graphalg", "pebble", "prbw", "memsim", "sched",
-	"wavefront", "bounds", "partition", "gen", "linalg", "machine", "trace", "core")
+	"wavefront", "bounds", "partition", "gen", "linalg", "machine", "trace", "core",
+	"spec", "plan", "run", "cache", "emit")
 
 func set(names ...string) map[string]bool {
 	m := make(map[string]bool, len(names))

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a running cdagd over its HTTP/JSON API.  It is the reuse
+// seam for batch front ends: cdagx dispatches experiment cells through it in
+// -remote mode, and because the daemon's responses are memoized canonical
+// JSON, a cell computed remotely is byte-identical to the same cell computed
+// in-process through RunEngine.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying HTTP client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxRetries bounds how often an overload rejection (429/503 with a
+	// Retry-After hint) is retried before giving up.  Zero means 8.
+	MaxRetries int
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// remoteError is the daemon's error envelope, re-classified locally so
+// callers can errors.Is against the serve taxonomy.
+type remoteError struct {
+	Error struct {
+		Class        string `json:"class"`
+		Detail       string `json:"detail"`
+		RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	} `json:"error"`
+}
+
+func classFromKey(key string) error {
+	switch key {
+	case "invalid_input":
+		return ErrInvalidInput
+	case "resource_limit":
+		return ErrResourceLimit
+	case "overloaded":
+		return ErrOverloaded
+	case "not_found":
+		return ErrNotFound
+	case "deadline":
+		return ErrDeadline
+	default:
+		return ErrInternal
+	}
+}
+
+// do issues one POST and returns the response body on 2xx.  Non-2xx bodies
+// are decoded into a classified *Error; overload rejections carry the
+// daemon's retry hint.
+func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: read %s response: %w", path, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return buf, nil
+	}
+	var re remoteError
+	if json.Unmarshal(buf, &re) == nil && re.Error.Class != "" {
+		return nil, &Error{
+			Class:  classFromKey(re.Error.Class),
+			Detail: fmt.Sprintf("remote %s: %s", path, re.Error.Detail),
+			Retry:  time.Duration(re.Error.RetryAfterMS) * time.Millisecond,
+		}
+	}
+	return nil, fmt.Errorf("serve client: POST %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(buf))
+}
+
+// doRetry runs do, sleeping out the daemon's Retry-After hint on overload
+// rejections up to MaxRetries times.  Anything else fails immediately.
+func (c *Client) doRetry(ctx context.Context, path string, body []byte) ([]byte, error) {
+	max := c.MaxRetries
+	if max <= 0 {
+		max = 8
+	}
+	for attempt := 0; ; attempt++ {
+		buf, err := c.do(ctx, path, body)
+		se, overloaded := err.(*Error)
+		if err == nil || !overloaded || !isOverload(se) || attempt >= max {
+			return buf, err
+		}
+		wait := se.Retry
+		if wait <= 0 {
+			wait = time.Second
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func isOverload(e *Error) bool {
+	return e != nil && e.Class == ErrOverloaded
+}
+
+// UploadGen uploads a generator spec and returns the daemon's graph ID
+// (which equals HashID([]byte(GenKey(spec))) — the client's and daemon's
+// content addressing agree by construction).
+func (c *Client) UploadGen(ctx context.Context, spec *GenSpec) (string, error) {
+	body, err := json.Marshal(map[string]any{"gen": spec})
+	if err != nil {
+		return "", fmt.Errorf("serve client: marshal gen spec: %w", err)
+	}
+	buf, err := c.doRetry(ctx, "/v1/graphs", body)
+	if err != nil {
+		return "", err
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(buf, &info); err != nil || info.ID == "" {
+		return "", fmt.Errorf("serve client: unexpected upload response: %s", bytes.TrimSpace(buf))
+	}
+	return info.ID, nil
+}
+
+// Engine runs one engine request against an uploaded graph and returns the
+// daemon's raw response body (canonical JSON, trailing newline trimmed, so
+// it compares equal to a locally marshaled RunEngine payload).
+func (c *Client) Engine(ctx context.Context, graphID, engine string, body []byte) ([]byte, error) {
+	buf, err := c.doRetry(ctx, "/v1/graphs/"+graphID+"/"+engine, body)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf, "\n"), nil
+}

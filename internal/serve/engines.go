@@ -113,10 +113,27 @@ type boundJSON struct {
 	Assumptions string  `json:"assumptions,omitempty"`
 }
 
-// runEngine executes one engine request against a cached Workspace and
-// returns the JSON-marshalable response payload.  Deadlines and admission
-// have already been applied by the handler; everything below runs under ctx.
+// EngineLimits carries the per-request admission limits RunEngine enforces;
+// the daemon fills it from its Config, batch callers (cdagx) from their own
+// budgets.
+type EngineLimits struct {
+	// MaxSweepJobs bounds the number of memsim jobs one sweep request may
+	// name.  Zero means unlimited.
+	MaxSweepJobs int
+}
+
+// runEngine executes one engine request under the daemon's configured limits.
 func (s *Server) runEngine(ctx context.Context, ws *core.Workspace, engine string, body []byte) (any, error) {
+	return RunEngine(ctx, ws, engine, body, EngineLimits{MaxSweepJobs: s.cfg.MaxSweepJobs})
+}
+
+// RunEngine executes one engine request against a Workspace and returns the
+// JSON-marshalable response payload.  This is the single engine dispatcher
+// shared by the daemon's HTTP handlers and cdagx's local executor: both sides
+// marshal the same payload, so a cell computed in-process is byte-identical
+// to the same cell served by a remote cdagd.  Deadlines and admission have
+// already been applied by the caller; everything below runs under ctx.
+func RunEngine(ctx context.Context, ws *core.Workspace, engine string, body []byte, lim EngineLimits) (any, error) {
 	g := ws.Graph()
 	switch engine {
 	case "wmax":
@@ -325,7 +342,7 @@ func (s *Server) runEngine(ctx context.Context, ws *core.Workspace, engine strin
 		if err != nil {
 			return nil, err
 		}
-		return simStatsJSON(stats), nil
+		return SimStatsJSON(stats), nil
 
 	case "sweep":
 		var req struct {
@@ -338,7 +355,7 @@ func (s *Server) runEngine(ctx context.Context, ws *core.Workspace, engine strin
 		if len(req.Jobs) == 0 {
 			return nil, invalidf("sweep: need at least one job")
 		}
-		if max := s.cfg.MaxSweepJobs; len(req.Jobs) > max {
+		if max := lim.MaxSweepJobs; max > 0 && len(req.Jobs) > max {
 			return nil, limitf("sweep: %d jobs exceeds per-request limit %d", len(req.Jobs), max)
 		}
 		jobs := make([]memsim.Job, len(req.Jobs))
@@ -355,7 +372,7 @@ func (s *Server) runEngine(ctx context.Context, ws *core.Workspace, engine strin
 		}
 		out := make([]map[string]any, len(all))
 		for i, st := range all {
-			out[i] = simStatsJSON(st)
+			out[i] = SimStatsJSON(st)
 		}
 		return map[string]any{"results": out}, nil
 
@@ -385,7 +402,10 @@ func (r *simulateRequest) config() (memsim.Config, error) {
 	return memsim.Config{Nodes: r.Nodes, FastWords: r.FastWords, Policy: policy}, nil
 }
 
-func simStatsJSON(st *memsim.Stats) map[string]any {
+// SimStatsJSON renders memsim statistics in the daemon's wire shape; cdagx
+// reuses it for locally-simulated cells so their cached bodies match what a
+// remote daemon would have returned.
+func SimStatsJSON(st *memsim.Stats) map[string]any {
 	return map[string]any{
 		"loads":       st.LoadsPerNode,
 		"stores":      st.StoresPerNode,

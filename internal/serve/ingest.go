@@ -19,13 +19,13 @@ import (
 // inline CDAG in the cdag JSON schema) or Gen (a generator spec) must be set.
 type uploadRequest struct {
 	Graph json.RawMessage `json:"graph,omitempty"`
-	Gen   *genSpec        `json:"gen,omitempty"`
+	Gen   *GenSpec        `json:"gen,omitempty"`
 }
 
-// genSpec names one of the paper's CDAG families and its size parameters.
+// GenSpec names one of the paper's CDAG families and its size parameters.
 // Unused parameters for a kind must be zero; the canonical hash key includes
 // only the parameters the kind consumes, so equivalent specs share an ID.
-type genSpec struct {
+type GenSpec struct {
 	Kind       string `json:"kind"`
 	N          int    `json:"n,omitempty"`
 	K          int    `json:"k,omitempty"`
@@ -85,12 +85,12 @@ func satPow(base, exp int64) int64 {
 // ("u12[3456]"-style names) for the pre-build footprint estimate.
 const genLabelBytesPerVertex = 12
 
-// genEstimate returns saturating upper bounds on the vertex and edge counts
+// GenEstimate returns saturating upper bounds on the vertex and edge counts
 // the spec would materialize, without building anything.  Unknown kinds and
-// out-of-domain parameters estimate as zero — buildGen rejects those with a
+// out-of-domain parameters estimate as zero — BuildGen rejects those with a
 // 400 — so the only job here is making sure a syntactically healthy spec
 // whose *size* is hostile never reaches an allocation.
-func genEstimate(spec *genSpec) (v, e int64) {
+func GenEstimate(spec *GenSpec) (v, e int64) {
 	n, k, h := int64(spec.N), int64(spec.K), int64(spec.H)
 	dim, steps, iter := int64(spec.Dim), int64(spec.Steps), int64(spec.Iterations)
 	switch strings.ToLower(spec.Kind) {
@@ -152,16 +152,18 @@ func genEstimate(spec *genSpec) (v, e int64) {
 	}
 }
 
-// checkGenSpec rejects a generator spec whose declared size violates the
-// upload limits or whose estimated Workspace footprint cannot fit the cache
-// budget — before a single vertex is allocated.  This is the same admission
-// contract inline uploads get from ReadJSONLimits plus cache.add: a
-// two-line request body must not be able to OOM the daemon by naming a
-// tens-of-gigabytes generator.  The post-build cache admission still runs
-// on the exact footprint; this pre-check only has to be safely conservative.
-func (s *Server) checkGenSpec(spec *genSpec) error {
-	v, e := genEstimate(spec)
-	lim := s.cfg.JSONLimits
+// AdmitGenSpec rejects a generator spec whose declared size violates the
+// upload limits or whose estimated Workspace footprint (with solverLimit
+// outstanding cut solvers) cannot fit the byte budget — before a single
+// vertex is allocated.  This is the same admission contract inline uploads
+// get from ReadJSONLimits plus cache.add: a two-line request body must not
+// be able to OOM the daemon by naming a tens-of-gigabytes generator.  The
+// post-build cache admission still runs on the exact footprint; this
+// pre-check only has to be safely conservative.  Exported so cdagx can fail
+// oversized spec cells at compile time under the same ceilings a daemon
+// would apply at upload time.
+func AdmitGenSpec(spec *GenSpec, lim cdag.JSONLimits, solverLimit int, budget int64) error {
+	v, e := GenEstimate(spec)
 	if lim.MaxVertices > 0 && v > int64(lim.MaxVertices) {
 		return limitf("generator %q: ~%d vertices exceeds limit %d", spec.Kind, v, lim.MaxVertices)
 	}
@@ -169,19 +171,46 @@ func (s *Server) checkGenSpec(spec *genSpec) error {
 		return limitf("generator %q: ~%d edges exceeds limit %d", spec.Kind, e, lim.MaxEdges)
 	}
 	fp := cdag.EstimateFootprintBytes(int(v), int(e), satMul(v, genLabelBytesPerVertex)) +
-		int64(s.cfg.SolverLimit)*graphalg.EstimateSolverFootprintCounts(v, e)
-	if fp > s.cfg.CacheBudget {
+		int64(solverLimit)*graphalg.EstimateSolverFootprintCounts(v, e)
+	if budget > 0 && fp > budget {
 		return limitf("generator %q: estimated footprint %d bytes exceeds cache budget %d bytes",
-			spec.Kind, fp, s.cfg.CacheBudget)
+			spec.Kind, fp, budget)
 	}
 	return nil
 }
 
-// buildGen constructs the named generator graph.  The generators enforce
+// checkGenSpec applies AdmitGenSpec under the daemon's configured limits.
+func (s *Server) checkGenSpec(spec *GenSpec) error {
+	return AdmitGenSpec(spec, s.cfg.JSONLimits, s.cfg.SolverLimit, s.cfg.CacheBudget)
+}
+
+// genKinds lists the generator kinds BuildGen accepts, sorted.
+var genKinds = []string{
+	"binomial", "cg", "chain", "chains", "composite", "dot", "fft", "gmres",
+	"heat", "jacobi", "matmul", "outer", "pyramid", "saxpy", "tree",
+}
+
+// GenKinds returns the generator kinds BuildGen accepts, sorted.
+func GenKinds() []string { return append([]string(nil), genKinds...) }
+
+// KnownGenKind reports whether kind (case-insensitively) names a generator
+// BuildGen accepts, letting spec compilers reject unknown kinds as boundary
+// errors without building anything.
+func KnownGenKind(kind string) bool {
+	kind = strings.ToLower(kind)
+	for _, k := range genKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildGen constructs the named generator graph.  The generators enforce
 // their parameter domains by panicking — fine for test code, unacceptable
 // for request data — so the whole construction runs under a recover that
 // converts the panic message into an invalid-input error.
-func buildGen(spec *genSpec) (g *cdag.Graph, err error) {
+func BuildGen(spec *GenSpec) (g *cdag.Graph, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = invalidf("generator %q: %v", spec.Kind, r)
@@ -231,10 +260,10 @@ func buildGen(spec *genSpec) (g *cdag.Graph, err error) {
 	}
 }
 
-// genKey renders the canonical identity string of a generator spec: the
+// GenKey renders the canonical identity string of a generator spec: the
 // lower-cased kind plus exactly the parameters that kind consumes, so
 // {"kind":"chain","n":8} and {"kind":"Chain","n":8,"k":0} hash identically.
-func genKey(spec *genSpec) string {
+func GenKey(spec *GenSpec) string {
 	kind := strings.ToLower(spec.Kind)
 	params := map[string]int{}
 	switch kind {
@@ -275,8 +304,8 @@ func genKey(spec *genSpec) string {
 	return b.String()
 }
 
-// hashID renders a content identity string as the daemon's graph ID.
-func hashID(identity []byte) string {
+// HashID renders a content identity string as the daemon's graph ID.
+func HashID(identity []byte) string {
 	sum := sha256.Sum256(identity)
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
@@ -325,10 +354,10 @@ func (s *Server) ingestGraph(body []byte) (*ingested, error) {
 			return nil, err
 		}
 		var err error
-		if g, err = buildGen(req.Gen); err != nil {
+		if g, err = BuildGen(req.Gen); err != nil {
 			return nil, err
 		}
-		identity = []byte(genKey(req.Gen))
+		identity = []byte(GenKey(req.Gen))
 		spec, err := json.Marshal(req.Gen)
 		if err != nil {
 			return nil, internalf("canonicalize gen spec: %v", err)
@@ -347,7 +376,7 @@ func (s *Server) ingestGraph(body []byte) (*ingested, error) {
 	if err := g.Validate(cdag.ValidateRBW); err != nil {
 		return nil, invalidf("graph rejected: %v", err)
 	}
-	rec.Key = hashID(identity)
+	rec.Key = HashID(identity)
 	return &ingested{g: g, id: rec.Key, rec: rec}, nil
 }
 

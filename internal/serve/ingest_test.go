@@ -11,7 +11,7 @@ import (
 // smaller than what the generator actually materializes (or admission would
 // wrongly 413 graphs that fit).
 func TestGenEstimateIsUpperBound(t *testing.T) {
-	specs := []genSpec{
+	specs := []GenSpec{
 		{Kind: "chain", N: 9},
 		{Kind: "chains", K: 3, N: 4},
 		{Kind: "tree", N: 9},
@@ -31,14 +31,14 @@ func TestGenEstimateIsUpperBound(t *testing.T) {
 	}
 	for i := range specs {
 		spec := &specs[i]
-		g, err := buildGen(spec)
+		g, err := BuildGen(spec)
 		if err != nil {
-			t.Fatalf("%s: buildGen: %v", genKey(spec), err)
+			t.Fatalf("%s: BuildGen: %v", GenKey(spec), err)
 		}
-		v, e := genEstimate(spec)
+		v, e := GenEstimate(spec)
 		if int64(g.NumVertices()) > v || int64(g.NumEdges()) > e {
 			t.Errorf("%s: built %d vertices / %d edges but estimated only %d / %d — the estimate must be an upper bound",
-				genKey(spec), g.NumVertices(), g.NumEdges(), v, e)
+				GenKey(spec), g.NumVertices(), g.NumEdges(), v, e)
 		}
 	}
 }

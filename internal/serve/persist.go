@@ -141,7 +141,7 @@ func (s *Server) restoreGraph(rec store.Record) error {
 			return err
 		}
 	case store.KindGraphSpec:
-		var spec genSpec
+		var spec GenSpec
 		if err := json.Unmarshal(rec.Value, &spec); err != nil {
 			return err
 		}
@@ -149,7 +149,7 @@ func (s *Server) restoreGraph(rec store.Record) error {
 			return err
 		}
 		var err error
-		if g, err = buildGen(&spec); err != nil {
+		if g, err = BuildGen(&spec); err != nil {
 			return err
 		}
 	}

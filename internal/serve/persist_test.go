@@ -233,7 +233,7 @@ func TestFsyncFailureDegradesWithoutPoisoning(t *testing.T) {
 	if status != http.StatusInternalServerError || errClass(t, payload) != "internal" {
 		t.Fatalf("upload under fsync fault: status %d body %v", status, payload)
 	}
-	failedID := hashID([]byte(genKey(&genSpec{Kind: "chain", N: 33})))
+	failedID := HashID([]byte(GenKey(&GenSpec{Kind: "chain", N: 33})))
 	if status, _, _ := doRaw(t, "GET", hs.URL+"/v1/graphs/"+failedID, ""); status != http.StatusNotFound {
 		t.Fatalf("unjournaled graph is findable: %d", status)
 	}

@@ -100,15 +100,25 @@ type Config struct {
 	CompactThreshold int64
 }
 
+// DefaultCacheBudget is the Workspace-cache byte budget a zero Config gets.
+// Exported so batch front ends (cdagx) admit generator specs against the
+// same ceiling a default daemon would.
+const DefaultCacheBudget int64 = 256 << 20
+
+// DefaultJSONLimits returns the upload limits a zero Config gets.
+func DefaultJSONLimits() cdag.JSONLimits {
+	return cdag.JSONLimits{MaxVertices: 2 << 20, MaxEdges: 16 << 20, MaxLabelBytes: 16 << 20}
+}
+
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
 	}
 	if c.CacheBudget <= 0 {
-		c.CacheBudget = 256 << 20
+		c.CacheBudget = DefaultCacheBudget
 	}
 	if c.JSONLimits == (cdag.JSONLimits{}) {
-		c.JSONLimits = cdag.JSONLimits{MaxVertices: 2 << 20, MaxEdges: 16 << 20, MaxLabelBytes: 16 << 20}
+		c.JSONLimits = DefaultJSONLimits()
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20

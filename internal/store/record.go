@@ -24,6 +24,11 @@ const (
 	// KindMemo holds one memoized engine response body; Key is the graph ID
 	// it belongs to and Sub the request hash.
 	KindMemo Kind = 3
+	// KindExpResult holds one cdagx experiment-cell result body; Key is the
+	// content-address of the cell — a hash over (graph ID, engine kind,
+	// canonical parameters) — so re-running a spec skips every cell whose
+	// result is already journaled.
+	KindExpResult Kind = 4
 )
 
 // Record is one durable entry: a kind, up to two string keys, and the value

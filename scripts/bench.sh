@@ -27,9 +27,17 @@ if [ "${1:-}" = "--benchtime" ] && [ -n "${2:-}" ]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+expdir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$expdir"' EXIT
 
 go test -run '^$' -bench . -benchtime "$benchtime" -benchmem ./... | tee "$raw"
+
+# Snapshot a cold-cache cdagx run of the checked-in paper spec: push-button
+# regeneration of the paper numbers is part of the tracked surface, and its
+# wall time rides along in the recording's "exp" section.
+go build -o "$expdir/cdagx" ./cmd/cdagx
+"$expdir/cdagx" run -q -cache-dir "$expdir/journal" -out "$expdir/out" \
+	-summary "$expdir/summary.json" specs/paper.yaml
 
 # Emit one JSON object: metadata plus every benchmark line parsed into
 # {name, iterations, ns_per_op, extra metrics}.
@@ -38,6 +46,9 @@ go test -run '^$' -bench . -benchtime "$benchtime" -benchmem ./... | tee "$raw"
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
 	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "exp": '
+	tr -d '\n' <"$expdir/summary.json" | sed 's/  */ /g'
+	printf ',\n'
 	printf '  "benchmarks": [\n'
 	awk '
 		/^Benchmark/ {
